@@ -1,0 +1,193 @@
+// Package repro's benchmarks regenerate every table and figure of the
+// paper under `go test -bench`, reporting each experiment's headline
+// metric so regressions in the reproduction are visible in benchmark
+// output. One benchmark corresponds to one paper artifact.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid5000"
+	"repro/internal/mpiimpl"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// benchReps keeps pingpong benchmarks quick while preserving shapes.
+const benchReps = 50
+
+// benchScale is the NPB workload fraction used by the NAS benchmarks.
+const benchScale = 0.1
+
+func maxMbps(pts []perf.Point) float64 {
+	best := 0.0
+	for _, p := range pts {
+		if p.Mbps > best {
+			best = p.Mbps
+		}
+	}
+	return best
+}
+
+func BenchmarkTable1Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.Table1()) != 4 {
+			b.Fatal("feature matrix broken")
+		}
+	}
+}
+
+func BenchmarkTable2Census(b *testing.B) {
+	var rows []core.CensusRow
+	for i := 0; i < b.N; i++ {
+		rows = core.Table2(0.05)
+	}
+	b.ReportMetric(float64(rows[3].P2PSends), "LU-msgs")
+}
+
+func BenchmarkTable4Latency(b *testing.B) {
+	var rows []core.LatencyRow
+	for i := 0; i < b.N; i++ {
+		rows = core.Table4(benchReps)
+	}
+	for _, r := range rows {
+		if r.Impl == mpiimpl.MPICH2 {
+			b.ReportMetric(float64(r.Grid)/float64(time.Microsecond), "grid-us")
+			b.ReportMetric(float64(r.Cluster)/float64(time.Microsecond), "cluster-us")
+		}
+	}
+}
+
+func BenchmarkFigure3GridDefaults(b *testing.B) {
+	var fig core.Figure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure3(benchReps)
+	}
+	b.ReportMetric(maxMbps(fig.Get(mpiimpl.RawTCP)), "tcp-max-Mbps")
+	b.ReportMetric(maxMbps(fig.Get(mpiimpl.GridMPI)), "gridmpi-max-Mbps")
+}
+
+func BenchmarkFigure5ClusterDefaults(b *testing.B) {
+	var fig core.Figure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure5(benchReps)
+	}
+	b.ReportMetric(maxMbps(fig.Get(mpiimpl.RawTCP)), "tcp-max-Mbps")
+}
+
+func BenchmarkFigure6GridTCPTuned(b *testing.B) {
+	var fig core.Figure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure6(benchReps)
+	}
+	b.ReportMetric(maxMbps(fig.Get(mpiimpl.MPICH2)), "mpich2-max-Mbps")
+	b.ReportMetric(fig.At(mpiimpl.MPICH2, 512<<10), "mpich2-512k-Mbps")
+}
+
+func BenchmarkFigure7FullyTuned(b *testing.B) {
+	var fig core.Figure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure7(benchReps)
+	}
+	b.ReportMetric(fig.At(mpiimpl.MPICH2, 64<<20), "mpich2-64M-Mbps")
+	b.ReportMetric(fig.At(mpiimpl.OpenMPI, 64<<20), "openmpi-64M-Mbps")
+}
+
+func BenchmarkTable5Thresholds(b *testing.B) {
+	var rows []core.ThresholdRow
+	for i := 0; i < b.N; i++ {
+		rows = core.Table5(5)
+	}
+	if rows[0].Grid != "65 MB" {
+		b.Fatalf("MPICH2 ideal = %s", rows[0].Grid)
+	}
+}
+
+func BenchmarkFigure9SlowStart(b *testing.B) {
+	var traces []core.Trace
+	for i := 0; i < b.N; i++ {
+		traces = core.Figure9(200)
+	}
+	for _, tr := range traces {
+		switch tr.Label {
+		case mpiimpl.GridMPI:
+			b.ReportMetric(perf.TimeTo(tr.Points, 450).Seconds(), "gridmpi-ramp-s")
+		case mpiimpl.MPICH2:
+			b.ReportMetric(perf.TimeTo(tr.Points, 450).Seconds(), "mpich2-ramp-s")
+		}
+	}
+}
+
+func BenchmarkFigure10ImplComparison(b *testing.B) {
+	var fig core.NASFigure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure10(benchScale)
+	}
+	ft, _ := fig.At("FT", mpiimpl.GridMPI)
+	b.ReportMetric(ft, "gridmpi-FT-rel")
+	if _, dnf := fig.At("BT", mpiimpl.Madeleine); !dnf {
+		b.Fatal("expected Madeleine BT DNF")
+	}
+}
+
+func BenchmarkFigure11SmallComparison(b *testing.B) {
+	var fig core.NASFigure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure11(benchScale)
+	}
+	ft, _ := fig.At("FT", mpiimpl.GridMPI)
+	b.ReportMetric(ft, "gridmpi-FT-rel")
+}
+
+func BenchmarkFigure12GridVsCluster(b *testing.B) {
+	var fig core.NASFigure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure12(benchScale)
+	}
+	cg, _ := fig.At("CG", mpiimpl.GridMPI)
+	lu, _ := fig.At("LU", mpiimpl.GridMPI)
+	b.ReportMetric(cg, "CG-rel")
+	b.ReportMetric(lu, "LU-rel")
+}
+
+func BenchmarkFigure13GridSpeedup(b *testing.B) {
+	var fig core.NASFigure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure13(benchScale)
+	}
+	lu, _ := fig.At("LU", mpiimpl.GridMPI)
+	cg, _ := fig.At("CG", mpiimpl.GridMPI)
+	b.ReportMetric(lu, "LU-speedup")
+	b.ReportMetric(cg, "CG-speedup")
+}
+
+func BenchmarkTable6RayDistribution(b *testing.B) {
+	var tab core.RayTable6
+	for i := 0; i < b.N; i++ {
+		tab = core.Table6(0.25)
+	}
+	b.ReportMetric(tab.Rays[grid5000.Sophia][grid5000.Sophia], "sophia-rays-per-node")
+}
+
+func BenchmarkTable7RayTimes(b *testing.B) {
+	var tab core.RayTable7
+	for i := 0; i < b.N; i++ {
+		tab = core.Table7(0.25)
+	}
+	b.ReportMetric(tab.Total[grid5000.Rennes].Seconds(), "total-s")
+}
+
+// BenchmarkKernelEvents measures the raw event throughput of the
+// simulation kernel (not a paper artifact; a performance baseline for the
+// harness itself).
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.New(1)
+	defer k.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Microsecond, func() {})
+		k.Run()
+	}
+}

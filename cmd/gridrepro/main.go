@@ -1,0 +1,47 @@
+// Command gridrepro runs the complete reproduction: every table and
+// figure of the paper, in order, printing the regenerated results. Its
+// output is the body of EXPERIMENTS.md.
+//
+// With -quick, reduced repetition counts and workload scales are used
+// (the shapes are unchanged; only sampling density drops).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced repetitions and workload scales")
+	flag.Parse()
+
+	reps, nasScale, rayScale, traceN := core.DefaultReps, 0.25, 1.0, 200
+	if *quick {
+		reps, nasScale, rayScale, traceN = 20, 0.1, 0.1, 100
+	}
+
+	fmt.Println("=== Reproduction of: Comparison and tuning of MPI implementations in a grid context (Hablot et al., 2007) ===")
+	fmt.Println()
+	fmt.Println(core.RenderTable1(core.Table1()))
+	fmt.Println(core.RenderTable2(core.Table2(nasScale)))
+	fmt.Println(core.RenderTable4(core.Table4(reps)))
+	fmt.Println(core.RenderPingPongFigure(core.Figure5(reps)))
+	fmt.Println(core.RenderPingPongFigure(core.Figure3(reps)))
+	fmt.Println(core.RenderPingPongFigure(core.Figure6(reps)))
+	fmt.Println(core.RenderTable5(core.Table5(20)))
+	fmt.Println(core.RenderPingPongFigure(core.Figure7(reps)))
+	fmt.Println(core.RenderFigure9(core.Figure9(traceN)))
+	fmt.Println(core.RenderNASFigure(core.Figure10(nasScale)))
+	fmt.Println(core.RenderNASFigure(core.Figure11(nasScale)))
+	fmt.Println(core.RenderNASFigure(core.Figure12(nasScale)))
+	fmt.Println(core.RenderNASFigure(core.Figure13(nasScale)))
+	fmt.Println(core.RenderTable6(core.Table6(rayScale)))
+	fmt.Println(core.RenderTable7(core.Table7(rayScale)))
+
+	// Beyond the paper: the §5 future-work experiments and an ablation.
+	fmt.Println(core.RenderExtensionMPICHG2(core.ExtensionMPICHG2(reps)))
+	fmt.Println(core.RenderExtensionHeterogeneity(core.ExtensionHeterogeneity(reps)))
+	fmt.Println(core.RenderBufferSweep(core.BufferSweep(reps)))
+}

@@ -1,0 +1,147 @@
+// Command gridsim is a general driver for ad-hoc experiments on the
+// simulated grid: pick an implementation, a tuning level, a topology and
+// a communication pattern, and get timing plus the communication census.
+//
+// Examples:
+//
+//	gridsim -impl GridMPI -nodes 8 -grid -pattern alltoall -size 2M -iters 5
+//	gridsim -impl MPICH2 -nodes 4 -pattern ring -size 64k -tcp-tuned=false
+//	gridsim -impl MPICH-G2 -nodes 2 -grid -pattern pingpong -size 64M
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/grid5000"
+	"repro/internal/mpi"
+	"repro/internal/mpiimpl"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func parseSize(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	}
+	n, err := strconv.Atoi(s)
+	return n * mult, err
+}
+
+func main() {
+	impl := flag.String("impl", mpiimpl.GridMPI, "implementation: MPICH2, GridMPI, MPICH-Madeleine, OpenMPI, MPICH-G2, TCP")
+	nodes := flag.Int("nodes", 4, "nodes per site")
+	grid := flag.Bool("grid", true, "span Rennes and Nancy (otherwise one cluster)")
+	pattern := flag.String("pattern", "alltoall", "pattern: pingpong, ring, alltoall, bcast, allreduce, barrier")
+	sizeStr := flag.String("size", "1M", "message size (supports k/M suffixes)")
+	iters := flag.Int("iters", 10, "pattern repetitions")
+	tcpTuned := flag.Bool("tcp-tuned", true, "apply the paper's §4.2.1 TCP tuning")
+	mpiTuned := flag.Bool("mpi-tuned", true, "apply the paper's §4.2.2 threshold tuning")
+	flag.Parse()
+
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -size:", err)
+		os.Exit(2)
+	}
+
+	prof, tcp := mpiimpl.Configure(*impl, *tcpTuned, *mpiTuned)
+	k := sim.New(1)
+	defer k.Close()
+	var net *netsim.Network
+	var hosts []*netsim.Host
+	if *grid {
+		net = grid5000.Build(*nodes, grid5000.Rennes, grid5000.Nancy)
+		hosts = append(hosts, net.SiteHosts(grid5000.Rennes)...)
+		hosts = append(hosts, net.SiteHosts(grid5000.Nancy)...)
+	} else {
+		net = grid5000.Build(*nodes, grid5000.Rennes)
+		hosts = net.SiteHosts(grid5000.Rennes)
+	}
+	w := mpi.NewWorld(k, net, tcp, prof, hosts)
+
+	body, err := patternBody(*pattern, size, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	elapsed, err := w.Run(body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s, %d ranks (%s), pattern=%s size=%d iters=%d\n",
+		*impl, len(hosts), map[bool]string{true: "8.7-19.9 ms WAN", false: "one cluster"}[*grid],
+		*pattern, size, *iters)
+	fmt.Printf("elapsed (virtual): %v\n", elapsed)
+	s := w.Stats()
+	fmt.Printf("census: %d p2p messages (%d bytes, %d across the WAN), rendezvous %d, unexpected %d\n",
+		s.P2PSends, s.P2PBytes, s.WANSends, s.Rendezvous, s.Unexpected)
+	for _, op := range s.CollOps() {
+		fmt.Printf("  collective %-12s x %d\n", op, s.CollCalls(op))
+	}
+}
+
+// patternBody builds the SPMD body for a named pattern.
+func patternBody(pattern string, size, iters int) (func(*mpi.Rank), error) {
+	switch pattern {
+	case "pingpong":
+		return func(r *mpi.Rank) {
+			peer := r.Size() - 1
+			for i := 0; i < iters; i++ {
+				switch r.Rank() {
+				case 0:
+					r.Send(peer, i, size)
+					r.Recv(peer, i)
+				case peer:
+					r.Recv(0, i)
+					r.Send(0, i, size)
+				}
+			}
+		}, nil
+	case "ring":
+		return func(r *mpi.Rank) {
+			right := (r.Rank() + 1) % r.Size()
+			left := (r.Rank() - 1 + r.Size()) % r.Size()
+			for i := 0; i < iters; i++ {
+				req := r.Isend(right, i, size)
+				r.Recv(left, i)
+				r.Wait(req)
+			}
+		}, nil
+	case "alltoall":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Alltoall(size)
+			}
+		}, nil
+	case "bcast":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Bcast(0, size)
+			}
+		}, nil
+	case "allreduce":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Allreduce(size)
+			}
+		}, nil
+	case "barrier":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Barrier()
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", pattern)
+}

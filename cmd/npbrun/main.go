@@ -1,0 +1,33 @@
+// Command npbrun regenerates the NAS Parallel Benchmark results: the
+// communication census (Table 2) and the comparison figures 10–13.
+//
+// The -scale flag multiplies class-B iteration counts; 1.0 reproduces the
+// full workloads (slow), smaller values keep the same per-iteration
+// comm/compute balance.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "fraction of full class-B iterations")
+	figure := flag.String("figure", "all", "which figure to run: 10, 11, 12, 13, table2 or all")
+	flag.Parse()
+
+	if *figure == "all" || *figure == "table2" {
+		fmt.Println(core.RenderTable2(core.Table2(*scale)))
+	}
+	run := func(name string, f func(float64) core.NASFigure) {
+		if *figure == "all" || *figure == name {
+			fmt.Println(core.RenderNASFigure(f(*scale)))
+		}
+	}
+	run("10", core.Figure10)
+	run("11", core.Figure11)
+	run("12", core.Figure12)
+	run("13", core.Figure13)
+}

@@ -1,0 +1,34 @@
+// Command pingpong regenerates the paper's pingpong results: Table 4 and
+// Figures 3, 5, 6 and 7.
+//
+// Usage:
+//
+//	pingpong [-reps N] [-figure 3|5|6|7|all] [-table4]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	reps := flag.Int("reps", core.DefaultReps, "round trips per message size")
+	figure := flag.String("figure", "all", "which figure to run: 3, 5, 6, 7 or all")
+	table4 := flag.Bool("table4", true, "also print the latency table")
+	flag.Parse()
+
+	if *table4 {
+		fmt.Println(core.RenderTable4(core.Table4(*reps)))
+	}
+	run := func(name string, f func(int) core.Figure) {
+		if *figure == "all" || *figure == name {
+			fmt.Println(core.RenderPingPongFigure(f(*reps)))
+		}
+	}
+	run("5", core.Figure5)
+	run("3", core.Figure3)
+	run("6", core.Figure6)
+	run("7", core.Figure7)
+}

@@ -1,0 +1,18 @@
+// Command ray2mesh regenerates the real-application study of §4.4:
+// Table 6 (ray distribution per cluster and master location) and Table 7
+// (compute / merge / total times).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "fraction of the one-million-ray workload")
+	flag.Parse()
+	fmt.Println(core.RenderTable6(core.Table6(*scale)))
+	fmt.Println(core.RenderTable7(core.Table7(*scale)))
+}

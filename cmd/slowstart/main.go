@@ -1,0 +1,17 @@
+// Command slowstart regenerates Figure 9: the impact of TCP slow start
+// and congestion avoidance on each implementation, as the per-message
+// bandwidth of 200 pingpongs of 1 MB across the Rennes–Nancy WAN.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	count := flag.Int("count", 200, "number of 1 MB messages")
+	flag.Parse()
+	fmt.Println(core.RenderFigure9(core.Figure9(*count)))
+}

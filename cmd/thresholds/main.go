@@ -1,0 +1,17 @@
+// Command thresholds regenerates Table 5: the swept ideal
+// eager/rendezvous threshold per implementation on the cluster and on the
+// grid.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	reps := flag.Int("reps", 20, "round trips per size during the sweep")
+	flag.Parse()
+	fmt.Println(core.RenderTable5(core.Table5(*reps)))
+}

@@ -1,0 +1,44 @@
+// NPB runs one NAS benchmark skeleton on a simulated grid and prints its
+// communication census and cluster-vs-grid timing — a small version of
+// what cmd/npbrun does for all of Figures 10-13.
+//
+//	go run ./examples/npb [-bench CG] [-scale 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/mpiimpl"
+	"repro/internal/npb"
+)
+
+func main() {
+	bench := flag.String("bench", "CG", "benchmark: EP CG MG LU SP BT IS FT")
+	scale := flag.Float64("scale", 0.2, "fraction of class-B iterations")
+	flag.Parse()
+
+	cluster := npb.Run(npb.Job{
+		Bench: *bench, Impl: mpiimpl.GridMPI, NP: 16,
+		Placement: npb.SingleCluster, Scale: *scale,
+	})
+	grid := npb.Run(npb.Job{
+		Bench: *bench, Impl: mpiimpl.GridMPI, NP: 16,
+		Placement: npb.TwoClusters, Scale: *scale,
+	})
+
+	fmt.Printf("%s (class B skeleton, 16 ranks, scale %.2f) with GridMPI:\n\n", *bench, *scale)
+	fmt.Printf("  16 nodes, one cluster:      %v\n", cluster.Elapsed)
+	fmt.Printf("  8+8 nodes across the WAN:   %v\n", grid.Elapsed)
+	fmt.Printf("  relative grid performance:  %.2f\n\n", cluster.Elapsed.Seconds()/grid.Elapsed.Seconds())
+
+	s := grid.Stats
+	fmt.Printf("communication census: %d point-to-point messages, %d bytes (%d across the WAN)\n",
+		s.P2PSends, s.P2PBytes, s.WANSends)
+	for _, sc := range s.SizeCensus() {
+		fmt.Printf("  %9d B  x %d\n", sc.Size, sc.Count)
+	}
+	for _, op := range s.CollOps() {
+		fmt.Printf("  collective %-10s x %d\n", op, s.CollCalls(op))
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpiimpl"
+	"repro/internal/perf"
+)
+
+// testReps keeps unit tests fast; the cmd tools and benches use the
+// paper's 200.
+const testReps = 20
+
+func maxMbps(pts []perf.Point) float64 {
+	best := 0.0
+	for _, p := range pts {
+		if p.Mbps > best {
+			best = p.Mbps
+		}
+	}
+	return best
+}
+
+// TestFigure3Shape: with default parameters on the grid, nothing exceeds
+// ~120 Mbps, and the per-implementation buffer behaviours order the curves
+// TCP/MPICH2/Madeleine (~120) > OpenMPI (~88) > GridMPI (~60).
+func TestFigure3Shape(t *testing.T) {
+	fig := Figure3(testReps)
+	for _, s := range fig.Series {
+		if got := maxMbps(s.Points); got > 120 {
+			t.Errorf("%s reaches %.0f Mbps with default buffers, want <120", s.Label, got)
+		}
+	}
+	tcp := maxMbps(fig.Get(mpiimpl.RawTCP))
+	ompi := maxMbps(fig.Get(mpiimpl.OpenMPI))
+	gmpi := maxMbps(fig.Get(mpiimpl.GridMPI))
+	if !(tcp > ompi && ompi > gmpi) {
+		t.Errorf("curve ordering: tcp=%.0f openmpi=%.0f gridmpi=%.0f, want tcp>openmpi>gridmpi", tcp, ompi, gmpi)
+	}
+	if tcp < 75 || tcp > 120 {
+		t.Errorf("TCP default grid max = %.0f Mbps, want ≈90-120", tcp)
+	}
+	if gmpi < 35 || gmpi > 65 {
+		t.Errorf("GridMPI default grid max = %.0f Mbps, want ≈45-60", gmpi)
+	}
+	// Steady state at 64 MB is strictly window-limited: window/RTT.
+	if bw := fig.At(mpiimpl.RawTCP, 64<<20); bw < 75 || bw > 120 {
+		t.Errorf("TCP default grid steady bandwidth = %.0f Mbps, want ≈90", bw)
+	}
+}
+
+// TestFigure5Shape: on the cluster everything reaches the 940 Mbps TCP
+// goodput, with half bandwidth already around 8 kB.
+func TestFigure5Shape(t *testing.T) {
+	fig := Figure5(testReps)
+	for _, s := range fig.Series {
+		if got := maxMbps(s.Points); got < 880 || got > 945 {
+			t.Errorf("%s cluster max = %.0f Mbps, want ≈940", s.Label, got)
+		}
+	}
+	// Half bandwidth around 8 kB (paper §4.2.1).
+	if bw := fig.At(mpiimpl.RawTCP, 8<<10); bw < 350 || bw > 650 {
+		t.Errorf("TCP cluster bandwidth at 8 kB = %.0f Mbps, want ≈ half of 940", bw)
+	}
+	// The eager/rendezvous dip: MPICH-Madeleine (128 kB threshold) loses
+	// bandwidth when crossing into rendezvous.
+	below := fig.At(mpiimpl.Madeleine, 128<<10)
+	above := fig.At(mpiimpl.Madeleine, 256<<10)
+	if above >= below {
+		t.Errorf("no rendezvous dip on cluster: 128k=%.0f, 256k=%.0f", below, above)
+	}
+}
+
+// TestFigure6Shape: TCP tuning recovers ~900 Mbps on the grid; the
+// rendezvous dip remains for all but GridMPI; half bandwidth moves out to
+// ~1 MB.
+func TestFigure6Shape(t *testing.T) {
+	fig := Figure6(testReps)
+	for _, s := range fig.Series {
+		if got := maxMbps(s.Points); got < 800 || got > 945 {
+			t.Errorf("%s tuned grid max = %.0f Mbps, want ≈900", s.Label, got)
+		}
+	}
+	// MPICH2's threshold at 256 kB: crossing it on an 11.6 ms path costs a
+	// full round trip and craters the curve.
+	below := fig.At(mpiimpl.MPICH2, 256<<10)
+	above := fig.At(mpiimpl.MPICH2, 512<<10)
+	if above >= below*0.95 {
+		t.Errorf("no grid rendezvous dip for MPICH2: 256k=%.0f, 512k=%.0f", below, above)
+	}
+	// GridMPI has no threshold: its curve is monotone in this region.
+	g1, g2 := fig.At(mpiimpl.GridMPI, 256<<10), fig.At(mpiimpl.GridMPI, 512<<10)
+	if g2 < g1 {
+		t.Errorf("GridMPI shows a dip it should not have: 256k=%.0f, 512k=%.0f", g1, g2)
+	}
+	// Half bandwidth ≈1 MB on the grid (paper: "the half bandwidth is only
+	// reached around 1 MB in the grid against 8 kB in the cluster").
+	if bw := fig.At(mpiimpl.RawTCP, 1<<20); bw < 300 || bw > 650 {
+		t.Errorf("TCP tuned grid bandwidth at 1 MB = %.0f Mbps, want ≈ half rate", bw)
+	}
+}
+
+// TestFigure7Shape: full tuning removes the dips; OpenMPI trails slightly
+// on big messages (fragment pipeline).
+func TestFigure7Shape(t *testing.T) {
+	fig := Figure7(testReps)
+	for _, s := range fig.Series {
+		// No dips: crossing 256 kB → 512 kB must not lose >5%.
+		b, a := fig.At(s.Label, 256<<10), fig.At(s.Label, 512<<10)
+		if a < b*0.95 {
+			t.Errorf("%s still dips after tuning: 256k=%.0f, 512k=%.0f", s.Label, b, a)
+		}
+	}
+	mp := fig.At(mpiimpl.MPICH2, 64<<20)
+	om := fig.At(mpiimpl.OpenMPI, 64<<20)
+	if om >= mp {
+		t.Errorf("OpenMPI big-message bandwidth (%.0f) not below MPICH2 (%.0f)", om, mp)
+	}
+	if om < mp*0.80 {
+		t.Errorf("OpenMPI trails too much: %.0f vs %.0f", om, mp)
+	}
+}
+
+// TestTable4 reproduces the latency table within a microsecond-scale
+// tolerance.
+func TestTable4(t *testing.T) {
+	rows := Table4(testReps)
+	want := map[string]struct{ cluster, grid time.Duration }{
+		mpiimpl.RawTCP:    {41 * time.Microsecond, 5812 * time.Microsecond},
+		mpiimpl.MPICH2:    {46 * time.Microsecond, 5818 * time.Microsecond},
+		mpiimpl.GridMPI:   {46 * time.Microsecond, 5819 * time.Microsecond},
+		mpiimpl.Madeleine: {62 * time.Microsecond, 5826 * time.Microsecond},
+		mpiimpl.OpenMPI:   {46 * time.Microsecond, 5820 * time.Microsecond},
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		w, ok := want[row.Impl]
+		if !ok {
+			t.Fatalf("unexpected row %q", row.Impl)
+		}
+		if d := row.Cluster - w.cluster; d < -2*time.Microsecond || d > 2*time.Microsecond {
+			t.Errorf("%s cluster latency = %v, want ≈%v", row.Impl, row.Cluster, w.cluster)
+		}
+		if d := row.Grid - w.grid; d < -4*time.Microsecond || d > 4*time.Microsecond {
+			t.Errorf("%s grid latency = %v, want ≈%v", row.Impl, row.Grid, w.grid)
+		}
+	}
+}
+
+// TestFigure9Shape: all traces ramp to a 1 MB-message plateau (~500-580
+// Mbps); GridMPI (paced) gets there several times faster than MPICH2.
+func TestFigure9Shape(t *testing.T) {
+	traces := Figure9(200)
+	byLabel := make(map[string][]perf.TracePoint)
+	for _, tr := range traces {
+		byLabel[tr.Label] = tr.Points
+		if max := perf.MaxMbps(tr.Points); max < 450 || max > 600 {
+			t.Errorf("%s plateau = %.0f Mbps, want ≈550 (1 MB messages are latency-bound)", tr.Label, max)
+		}
+	}
+	gm := perf.TimeTo(byLabel[mpiimpl.GridMPI], 450)
+	mp := perf.TimeTo(byLabel[mpiimpl.MPICH2], 450)
+	tcp := perf.TimeTo(byLabel[mpiimpl.RawTCP], 450)
+	if gm < 0 || mp < 0 || tcp < 0 {
+		t.Fatalf("some trace never reached 450 Mbps: gridmpi=%v mpich2=%v tcp=%v", gm, mp, tcp)
+	}
+	if ratio := float64(mp) / float64(gm); ratio < 3 {
+		t.Errorf("GridMPI ramp advantage = %.1fx (gridmpi %v, mpich2 %v), want ≥3x", ratio, gm, mp)
+	}
+	if mp < 500*time.Millisecond {
+		t.Errorf("MPICH2 ramp = %v, want a multi-second second phase like the paper's ~4 s", mp)
+	}
+}
+
+// TestTable5 reproduces the ideal-threshold table: eager always wins below
+// 64 MB, so the swept ideal is 65 MB (32 MB for OpenMPI's capped
+// parameter), and GridMPI needs no change.
+func TestTable5(t *testing.T) {
+	rows := Table5(5)
+	want := map[string]ThresholdRow{
+		mpiimpl.MPICH2:    {Original: "256 kB", Cluster: "65 MB", Grid: "65 MB"},
+		mpiimpl.GridMPI:   {Original: "inf", Cluster: "-", Grid: "-"},
+		mpiimpl.Madeleine: {Original: "128 kB", Cluster: "65 MB", Grid: "65 MB"},
+		mpiimpl.OpenMPI:   {Original: "64 kB", Cluster: "32 MB", Grid: "32 MB"},
+	}
+	for _, row := range rows {
+		w := want[row.Impl]
+		if row.Original != w.Original || row.Cluster != w.Cluster || row.Grid != w.Grid {
+			t.Errorf("%s: got {%s %s %s}, want {%s %s %s}", row.Impl,
+				row.Original, row.Cluster, row.Grid, w.Original, w.Cluster, w.Grid)
+		}
+	}
+}

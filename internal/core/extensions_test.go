@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tcpsim"
+)
+
+// TestExtensionMPICHG2 checks the parallel-streams payoff: on an untuned
+// WAN, four streams multiply the window-limited bandwidth severalfold.
+func TestExtensionMPICHG2(t *testing.T) {
+	pts := ExtensionMPICHG2(10)
+	last := pts[len(pts)-1] // 64 MB
+	gain := last.MPICHG2Mbps / last.MPICH2Mbps
+	if gain < 2.5 {
+		t.Errorf("4-stream gain at 64 MB = %.2fx, want ≥2.5 (≈4 windows in flight)", gain)
+	}
+	if gain > 4.6 {
+		t.Errorf("4-stream gain = %.2fx exceeds the stream count", gain)
+	}
+	if last.MPICH2Mbps > 120 {
+		t.Errorf("MPICH2 untuned baseline = %.0f Mbps, want window-limited <120", last.MPICH2Mbps)
+	}
+}
+
+// TestBufferSweep checks the §4.2.1 ablation: bandwidth grows with the
+// buffer until the BDP (~1.45 MB), then plateaus at line rate.
+func TestBufferSweep(t *testing.T) {
+	pts := BufferSweep(10)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Mbps+30 < pts[i-1].Mbps {
+			t.Errorf("bandwidth decreased with larger buffers: %v -> %v Mbps at %d B",
+				pts[i-1].Mbps, pts[i].Mbps, pts[i].BufferBytes)
+		}
+	}
+	small := pts[0] // 64 kB
+	if small.Mbps > 60 {
+		t.Errorf("64 kB buffer gives %.0f Mbps, want window-limited ≈33", small.Mbps)
+	}
+	big := pts[len(pts)-1] // 8 MB
+	if big.Mbps < 800 {
+		t.Errorf("8 MB buffer gives %.0f Mbps, want near line rate", big.Mbps)
+	}
+	// The window-limited regime scales linearly with buffer size.
+	ratio := pts[2].Mbps / pts[0].Mbps // 256 kB vs 64 kB
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("window-limited scaling 64k→256k = %.2fx, want ≈4x", ratio)
+	}
+}
+
+// TestWindowCapExplicitSweep pins the effective windows the sweep relies
+// on (3/4 advertised-window rule applied to explicit buffers).
+func TestWindowCapExplicitSweep(t *testing.T) {
+	cfg := tcpsim.Tuned4MB()
+	cfg.RmemMax = 1 << 20
+	cfg.WmemMax = 1 << 20
+	if got := cfg.WindowCap(tcpsim.BufferPolicy{Explicit: 1 << 20}); got != 768<<10 {
+		t.Fatalf("explicit 1 MB cap = %d, want 786432", got)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mpiimpl"
+	"repro/internal/netsim"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/tables"
+	"repro/internal/tcpsim"
+)
+
+// This file implements the paper's second future-work thread (§5):
+// "we will test the heterogeneity management of each implementation with
+// different high performance networks. Using these networks for local
+// communications can be efficient ... but the overhead introduced by the
+// management of heterogeneity has to be less important than the TCP cost."
+//
+// We model a Myrinet-class local fabric and an MPICH-Madeleine-style
+// gateway, and measure at which per-message gateway overhead the
+// high-speed fabric stops paying off against plain TCP on Ethernet.
+
+// Fabric describes an intra-cluster interconnect.
+type Fabric struct {
+	Name   string
+	OneWay time.Duration // switch+wire one-way delay
+	Rate   float64       // bytes/second
+	// StackOverhead is the per-endpoint software cost; OS-bypass fabrics
+	// (Myrinet MX) are far cheaper than the kernel TCP stack.
+	StackOverhead time.Duration
+}
+
+// Fabrics of the era, from the paper's Table 1 ecosystem.
+var (
+	GigabitEthernetFabric = Fabric{"1 GbE / TCP", 29 * time.Microsecond, 125e6, 6 * time.Microsecond}
+	MyrinetFabric         = Fabric{"Myrinet MX", 3 * time.Microsecond, 250e6, 1 * time.Microsecond}
+	InfinibandFabric      = Fabric{"Infiniband", 2 * time.Microsecond, 1e9, 1 * time.Microsecond}
+)
+
+// HeterogeneityPoint is one measurement of the gateway experiment.
+type HeterogeneityPoint struct {
+	Fabric          string
+	GatewayOverhead time.Duration
+	Latency1B       time.Duration
+	Mbps1MB         float64
+	BeatsTCP        bool
+}
+
+// ExtensionHeterogeneity measures intra-cluster pingpongs over high-speed
+// fabrics reached through a Madeleine-style gateway with increasing
+// per-message overheads, against the plain TCP/Ethernet baseline.
+func ExtensionHeterogeneity(reps int) []HeterogeneityPoint {
+	baseLat, baseBW := fabricPingpong(GigabitEthernetFabric, 0, reps)
+	out := []HeterogeneityPoint{{
+		Fabric:    GigabitEthernetFabric.Name,
+		Latency1B: baseLat,
+		Mbps1MB:   baseBW,
+		BeatsTCP:  true,
+	}}
+	for _, fabric := range []Fabric{MyrinetFabric, InfinibandFabric} {
+		for _, gw := range []time.Duration{0, 10 * time.Microsecond, 40 * time.Microsecond, 160 * time.Microsecond} {
+			lat, bw := fabricPingpong(fabric, gw, reps)
+			out = append(out, HeterogeneityPoint{
+				Fabric:          fabric.Name,
+				GatewayOverhead: gw,
+				Latency1B:       lat,
+				Mbps1MB:         bw,
+				BeatsTCP:        lat < baseLat && bw > baseBW,
+			})
+		}
+	}
+	return out
+}
+
+// fabricPingpong builds a two-node cluster on the fabric and measures a
+// 1 B latency and 1 MB bandwidth pingpong. The gateway overhead is charged
+// per message at the sender (the Madeleine gateway model).
+func fabricPingpong(f Fabric, gateway time.Duration, reps int) (time.Duration, float64) {
+	k := sim.New(1)
+	defer k.Close()
+	net := netsim.New()
+	net.AddSite("local", 2, 1.0, f.Rate, f.OneWay)
+	hosts := net.SiteHosts("local")
+
+	cfg := tcpsim.Tuned4MB()
+	cfg.HostOverhead = f.StackOverhead
+	prof := mpiimpl.Profile(mpiimpl.Madeleine)
+	prof.EagerThreshold = mpi.Infinite // tuned per Table 5
+	prof.OverheadLocal += gateway
+
+	w := mpi.NewWorld(k, net, cfg, prof, hosts)
+	pts, err := perf.PingPong(w, []int{1, 1 << 20}, reps)
+	if err != nil {
+		panic("core: heterogeneity: " + err.Error())
+	}
+	return pts[0].OneWay(), pts[1].Mbps
+}
+
+// RenderExtensionHeterogeneity formats the gateway experiment.
+func RenderExtensionHeterogeneity(pts []HeterogeneityPoint) string {
+	headers := []string{"fabric", "gateway overhead", "1 B latency", "1 MB bandwidth", "beats TCP/GbE"}
+	var rows [][]string
+	for _, p := range pts {
+		gw := "-"
+		if p.Fabric != GigabitEthernetFabric.Name {
+			gw = p.GatewayOverhead.String()
+		}
+		beats := "yes"
+		if !p.BeatsTCP {
+			beats = "no"
+		}
+		rows = append(rows, []string{
+			p.Fabric, gw, p.Latency1B.String(),
+			fmt.Sprintf("%.0f", p.Mbps1MB), beats,
+		})
+	}
+	return "Extension: high-speed local fabrics behind a Madeleine-style gateway\n" +
+		tables.Render(headers, rows)
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExtensionHeterogeneity checks the paper's §5 criterion: a
+// high-speed fabric pays off as long as the gateway overhead stays below
+// the TCP cost it replaces.
+func TestExtensionHeterogeneity(t *testing.T) {
+	pts := ExtensionHeterogeneity(10)
+	if pts[0].Fabric != GigabitEthernetFabric.Name {
+		t.Fatal("first row must be the TCP/GbE baseline")
+	}
+	base := pts[0]
+	byKey := make(map[string]HeterogeneityPoint)
+	for _, p := range pts[1:] {
+		byKey[p.Fabric+p.GatewayOverhead.String()] = p
+	}
+	// With no gateway overhead, both fabrics clearly beat TCP.
+	for _, fabric := range []string{MyrinetFabric.Name, InfinibandFabric.Name} {
+		p := byKey[fabric+"0s"]
+		if !p.BeatsTCP {
+			t.Errorf("%s without gateway overhead does not beat TCP (lat %v vs %v)",
+				fabric, p.Latency1B, base.Latency1B)
+		}
+		if p.Latency1B >= base.Latency1B/2 {
+			t.Errorf("%s latency %v, want well under the TCP %v", fabric, p.Latency1B, base.Latency1B)
+		}
+	}
+	// A 160 µs gateway exceeds the TCP cost: the advantage is gone.
+	p := byKey[MyrinetFabric.Name+(160*time.Microsecond).String()]
+	if p.BeatsTCP {
+		t.Error("Myrinet behind a 160 µs gateway should not beat plain TCP")
+	}
+	// Latency grows monotonically with gateway overhead.
+	prev := time.Duration(0)
+	for _, gw := range []time.Duration{0, 10 * time.Microsecond, 40 * time.Microsecond, 160 * time.Microsecond} {
+		cur := byKey[MyrinetFabric.Name+gw.String()].Latency1B
+		if cur <= prev {
+			t.Errorf("latency not increasing with gateway overhead at %v", gw)
+		}
+		prev = cur
+	}
+}

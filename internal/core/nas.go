@@ -1,0 +1,181 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/mpiimpl"
+	"repro/internal/npb"
+)
+
+// DNFBudgetFactor is the job time budget relative to the MPICH2 reference:
+// runs exceeding it are reported DNF, like the paper's MPICH-Madeleine
+// BT/SP grid runs.
+const DNFBudgetFactor = 2
+
+// NASFigure holds one NPB comparison figure: for each benchmark, a
+// relative performance value per implementation (higher is better), with
+// DNF marks.
+type NASFigure struct {
+	Name       string
+	Title      string
+	Benchmarks []string
+	// Values[bench][impl] is the relative performance; missing means DNF.
+	Values map[string]map[string]float64
+	DNF    map[string]map[string]bool
+}
+
+func newNASFigure(name, title string) NASFigure {
+	return NASFigure{
+		Name:       name,
+		Title:      title,
+		Benchmarks: npb.Names,
+		Values:     make(map[string]map[string]float64),
+		DNF:        make(map[string]map[string]bool),
+	}
+}
+
+func (f *NASFigure) set(bench, impl string, v float64, dnf bool) {
+	if f.Values[bench] == nil {
+		f.Values[bench] = make(map[string]float64)
+		f.DNF[bench] = make(map[string]bool)
+	}
+	if dnf {
+		f.DNF[bench][impl] = true
+		return
+	}
+	f.Values[bench][impl] = v
+}
+
+// At returns the value and DNF flag for one cell.
+func (f NASFigure) At(bench, impl string) (float64, bool) {
+	if f.DNF[bench][impl] {
+		return 0, true
+	}
+	return f.Values[bench][impl], false
+}
+
+// implComparison runs every implementation on every benchmark at one
+// (np, placement) and reports times relative to MPICH2 (T_ref/T_impl).
+func implComparison(name, title string, np int, placement npb.Placement, scale float64) NASFigure {
+	fig := newNASFigure(name, title)
+	for _, bench := range npb.Names {
+		ref := npb.Run(npb.Job{
+			Bench: bench, Impl: mpiimpl.MPICH2, NP: np,
+			Placement: placement, Scale: scale,
+		})
+		fig.set(bench, mpiimpl.MPICH2, 1.0, ref.DNF)
+		for _, impl := range mpiimpl.All {
+			if impl == mpiimpl.MPICH2 {
+				continue
+			}
+			res := npb.Run(npb.Job{
+				Bench: bench, Impl: impl, NP: np,
+				Placement: placement, Scale: scale,
+				Timeout: ref.Elapsed * DNFBudgetFactor,
+			})
+			fig.set(bench, impl, ref.Elapsed.Seconds()/res.Elapsed.Seconds(), res.DNF)
+		}
+	}
+	return fig
+}
+
+// Figure10 compares the four implementations on 8+8 nodes across the WAN,
+// relative to MPICH2 (the paper's Figure 10; MPICH-Madeleine DNFs on BT
+// and SP).
+func Figure10(scale float64) NASFigure {
+	return implComparison("figure10",
+		"NPB class B, 8-8 nodes between two clusters, relative to MPICH2",
+		16, npb.TwoClusters, scale)
+}
+
+// Figure11 is the same comparison on 2+2 nodes.
+func Figure11(scale float64) NASFigure {
+	return implComparison("figure11",
+		"NPB class B, 2-2 nodes between two clusters, relative to MPICH2",
+		4, npb.TwoClusters, scale)
+}
+
+// gridVsCluster computes per implementation T(cluster with npCluster
+// nodes) / T(8+8 grid): Figure 12 (npCluster=16) and Figure 13
+// (npCluster=4).
+func gridVsCluster(name, title string, npCluster int, scale float64) NASFigure {
+	fig := newNASFigure(name, title)
+	for _, bench := range npb.Names {
+		for _, impl := range mpiimpl.All {
+			cl := npb.Run(npb.Job{
+				Bench: bench, Impl: impl, NP: npCluster,
+				Placement: npb.SingleCluster, Scale: scale,
+			})
+			budget := time.Duration(float64(cl.Elapsed) * 4 * DNFBudgetFactor)
+			gr := npb.Run(npb.Job{
+				Bench: bench, Impl: impl, NP: 16,
+				Placement: npb.TwoClusters, Scale: scale,
+				Timeout: budget,
+			})
+			fig.set(bench, impl, cl.Elapsed.Seconds()/gr.Elapsed.Seconds(), cl.DNF || gr.DNF)
+		}
+	}
+	return fig
+}
+
+// Figure12 compares 16 nodes on one cluster against 8+8 across the WAN,
+// per implementation (values ≤ 1: the grid always costs something).
+func Figure12(scale float64) NASFigure {
+	return gridVsCluster("figure12",
+		"NPB class B: T(16 nodes, one cluster) / T(8-8 nodes, two clusters)",
+		16, scale)
+}
+
+// Figure13 compares 4 local nodes against 16 grid nodes: the speedup of
+// quadrupling resources across a WAN (ideal 4).
+func Figure13(scale float64) NASFigure {
+	return gridVsCluster("figure13",
+		"NPB class B: T(4 nodes, one cluster) / T(8-8 nodes, two clusters)",
+		4, scale)
+}
+
+// CensusRow summarises one benchmark's communication for Table 2.
+type CensusRow struct {
+	Bench      string
+	Type       string // "point-to-point" or "collective"
+	P2PSends   int64
+	P2PBytes   int64
+	SmallestB  int64
+	LargestB   int64
+	Collective map[string]int64
+}
+
+// Table2 regenerates the NPB communication census by running each
+// benchmark on a 16-rank cluster and reading the message statistics.
+func Table2(scale float64) []CensusRow {
+	rows := make([]CensusRow, 0, len(npb.Names))
+	for _, bench := range npb.Names {
+		res := npb.Run(npb.Job{
+			Bench: bench, Impl: mpiimpl.MPICH2, NP: 16,
+			Placement: npb.SingleCluster, Scale: scale,
+		})
+		s := res.Stats
+		row := CensusRow{
+			Bench:      bench,
+			Type:       "point-to-point",
+			P2PSends:   s.P2PSends,
+			P2PBytes:   s.P2PBytes,
+			Collective: make(map[string]int64),
+		}
+		if census := s.SizeCensus(); len(census) > 0 {
+			row.SmallestB = census[0].Size
+			row.LargestB = census[len(census)-1].Size
+		}
+		for _, op := range s.CollOps() {
+			row.Collective[op] = s.CollCalls(op)
+		}
+		if s.P2PSends == 0 {
+			row.Type = "collective"
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table1 returns the implementation feature matrix.
+func Table1() []mpiimpl.Feature { return mpiimpl.Features() }

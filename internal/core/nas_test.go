@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/grid5000"
+	"repro/internal/mpiimpl"
+)
+
+// nasScale keeps the NAS figure tests fast while leaving enough
+// iterations for TCP windows to open.
+const nasScale = 0.1
+
+// TestFigure10Shape asserts the paper's qualitative Figure 10: GridMPI is
+// the best overall implementation on the grid, with its largest advantage
+// on the collective benchmarks, and MPICH-Madeleine DNFs on BT and SP.
+func TestFigure10Shape(t *testing.T) {
+	fig := Figure10(nasScale)
+	// Madeleine's DNFs.
+	for _, bench := range []string{"BT", "SP"} {
+		if _, dnf := fig.At(bench, mpiimpl.Madeleine); !dnf {
+			v, _ := fig.At(bench, mpiimpl.Madeleine)
+			t.Errorf("Madeleine %s = %.2f, want DNF", bench, v)
+		}
+	}
+	// Madeleine completes the others.
+	for _, bench := range []string{"EP", "CG", "MG", "LU", "IS", "FT"} {
+		if _, dnf := fig.At(bench, mpiimpl.Madeleine); dnf {
+			t.Errorf("Madeleine unexpectedly DNF on %s", bench)
+		}
+	}
+	// GridMPI's collective advantage.
+	if ft, _ := fig.At("FT", mpiimpl.GridMPI); ft < 1.5 {
+		t.Errorf("GridMPI FT = %.2f, want ≥1.5 (paper ≈3.5)", ft)
+	}
+	if is, _ := fig.At("IS", mpiimpl.GridMPI); is < 1.05 {
+		t.Errorf("GridMPI IS = %.2f, want ≥1.05 (paper ≈3)", is)
+	}
+	// GridMPI never loses badly anywhere.
+	for _, bench := range fig.Benchmarks {
+		if v, dnf := fig.At(bench, mpiimpl.GridMPI); dnf || v < 0.85 {
+			t.Errorf("GridMPI %s = %.2f (dnf=%v), want ≥0.85", bench, v, dnf)
+		}
+	}
+	// EP is compute-bound: everyone is within a few percent of MPICH2.
+	for _, impl := range mpiimpl.All {
+		if v, dnf := fig.At("EP", impl); dnf || v < 0.95 || v > 1.05 {
+			t.Errorf("%s EP = %.2f (dnf=%v), want ≈1", impl, v, dnf)
+		}
+	}
+}
+
+// TestFigure11Shape: on 2+2 nodes the same orderings hold, with smaller
+// margins.
+func TestFigure11Shape(t *testing.T) {
+	fig := Figure11(nasScale)
+	if ft, dnf := fig.At("FT", mpiimpl.GridMPI); dnf || ft < 1.1 {
+		t.Errorf("GridMPI FT on 2+2 = %.2f (dnf=%v), want ≥1.1", ft, dnf)
+	}
+	for _, impl := range mpiimpl.All {
+		if v, dnf := fig.At("EP", impl); dnf || v < 0.95 || v > 1.05 {
+			t.Errorf("%s EP = %.2f (dnf=%v), want ≈1", impl, v, dnf)
+		}
+	}
+}
+
+// TestFigure12Shape asserts the grid-overhead story: EP ≈ 1; the big
+// point-to-point codes tolerate the WAN; CG, MG and IS suffer most.
+func TestFigure12Shape(t *testing.T) {
+	fig := Figure12(nasScale)
+	g := func(bench string) float64 {
+		v, dnf := fig.At(bench, mpiimpl.GridMPI)
+		if dnf {
+			t.Fatalf("GridMPI DNF on %s", bench)
+		}
+		return v
+	}
+	if ep := g("EP"); ep < 0.9 || ep > 1.05 {
+		t.Errorf("EP = %.2f, want ≈1", ep)
+	}
+	for _, bench := range []string{"CG", "MG"} {
+		if v := g(bench); v > 0.7 {
+			t.Errorf("%s = %.2f, want ≤0.7 (small messages suffer the latency)", bench, v)
+		}
+	}
+	for _, bench := range []string{"LU", "SP", "BT"} {
+		if v := g(bench); v < 0.55 || v > 1.0 {
+			t.Errorf("%s = %.2f, want in [0.55, 1.0] (big messages tolerate the grid)", bench, v)
+		}
+	}
+	// The grid always costs something: no value above ~1.
+	for _, bench := range fig.Benchmarks {
+		for _, impl := range mpiimpl.All {
+			if v, dnf := fig.At(bench, impl); !dnf && v > 1.08 {
+				t.Errorf("%s/%s = %.2f > 1: grid beating an equal-size cluster", bench, impl, v)
+			}
+		}
+	}
+}
+
+// TestFigure13Shape: quadrupling nodes across the WAN gives a speedup for
+// every benchmark (the paper's conclusion), near 4 for LU/BT/EP and modest
+// for the latency-bound codes.
+func TestFigure13Shape(t *testing.T) {
+	fig := Figure13(nasScale)
+	for _, bench := range fig.Benchmarks {
+		v, dnf := fig.At(bench, mpiimpl.GridMPI)
+		if dnf {
+			t.Fatalf("GridMPI DNF on %s", bench)
+		}
+		if v < 1 {
+			t.Errorf("%s speedup = %.2f < 1; the paper finds the grid worthwhile everywhere", bench, v)
+		}
+		if v > 4.8 {
+			t.Errorf("%s speedup = %.2f, above the physical ≈4 limit", bench, v)
+		}
+	}
+	for _, bench := range []string{"EP", "LU", "BT"} {
+		if v, _ := fig.At(bench, mpiimpl.GridMPI); v < 2.5 {
+			t.Errorf("%s speedup = %.2f, want ≥2.5 (paper ≈3-4)", bench, v)
+		}
+	}
+	cg, _ := fig.At("CG", mpiimpl.GridMPI)
+	lu, _ := fig.At("LU", mpiimpl.GridMPI)
+	if cg >= lu {
+		t.Errorf("CG speedup (%.2f) ≥ LU (%.2f); latency-bound codes must benefit least", cg, lu)
+	}
+}
+
+func TestTable2Summary(t *testing.T) {
+	rows := Table2(0.05)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := make(map[string]CensusRow)
+	for _, r := range rows {
+		byName[r.Bench] = r
+	}
+	if byName["IS"].Type != "collective" || byName["FT"].Type != "collective" {
+		t.Errorf("IS/FT types = %s/%s, want collective", byName["IS"].Type, byName["FT"].Type)
+	}
+	for _, b := range []string{"EP", "CG", "MG", "LU", "SP", "BT"} {
+		if byName[b].Type != "point-to-point" {
+			t.Errorf("%s type = %s, want point-to-point", b, byName[b].Type)
+		}
+	}
+	if byName["LU"].P2PSends <= byName["EP"].P2PSends {
+		t.Error("LU must be the most message-intensive benchmark")
+	}
+}
+
+func TestTable1Features(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("feature rows = %d", len(rows))
+	}
+	if rows[1].Name != mpiimpl.GridMPI || rows[1].LongDistance == "None" {
+		t.Errorf("GridMPI feature row wrong: %+v", rows[1])
+	}
+}
+
+// TestTable6Shape: Sophia dominates every column; the diagonal (local
+// master) is never worse than remote masters for the same cluster.
+func TestTable6Shape(t *testing.T) {
+	tab := Table6(0.1)
+	for _, master := range tab.Masters {
+		s := tab.Rays[grid5000.Sophia][master]
+		for _, cluster := range tab.Clusters {
+			if cluster != grid5000.Sophia && tab.Rays[cluster][master] >= s {
+				t.Errorf("master@%s: %s (%.0f) ≥ Sophia (%.0f)", master, cluster, tab.Rays[cluster][master], s)
+			}
+		}
+	}
+	for _, cluster := range tab.Clusters {
+		local := tab.Rays[cluster][cluster]
+		for _, master := range tab.Masters {
+			if master == cluster {
+				continue
+			}
+			if local+130 < tab.Rays[cluster][master] {
+				t.Errorf("cluster %s: local-master rays/node %.0f well below master@%s %.0f",
+					cluster, local, master, tab.Rays[cluster][master])
+			}
+		}
+	}
+}
+
+// TestTable7Shape: compute times are nearly equal across master
+// locations; merge and total vary only slightly.
+func TestTable7Shape(t *testing.T) {
+	tab := Table7(0.1)
+	var minC, maxC float64
+	for i, m := range tab.Masters {
+		c := tab.Comp[m].Seconds()
+		if i == 0 || c < minC {
+			minC = c
+		}
+		if i == 0 || c > maxC {
+			maxC = c
+		}
+		if tab.Total[m] < tab.Comp[m]+tab.Merge[m] {
+			t.Errorf("master@%s: total < comp+merge", m)
+		}
+	}
+	if (maxC-minC)/minC > 0.05 {
+		t.Errorf("compute times vary %.1f%% across master locations", 100*(maxC-minC)/minC)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ray2mesh"
+)
+
+// RayTable6 is the paper's Table 6: mean rays per node on each cluster
+// (rows) for each master location (columns).
+type RayTable6 struct {
+	Clusters []string
+	Masters  []string
+	// Rays[cluster][master] is the mean ray count per node.
+	Rays map[string]map[string]float64
+}
+
+// RayTable7 is the paper's Table 7: compute / merge / total times per
+// master location.
+type RayTable7 struct {
+	Masters []string
+	Comp    map[string]time.Duration
+	Merge   map[string]time.Duration
+	Total   map[string]time.Duration
+}
+
+// Table6 runs ray2mesh with the master on each of the four clusters and
+// tabulates the ray distribution. scale shrinks the workload for tests
+// (1.0 = the paper's one million rays).
+func Table6(scale float64) RayTable6 {
+	t := RayTable6{
+		Clusters: ray2mesh.Sites,
+		Masters:  ray2mesh.Sites,
+		Rays:     make(map[string]map[string]float64),
+	}
+	for _, master := range t.Masters {
+		res := ray2mesh.Run(ray2mesh.Default(master).Scaled(scale))
+		for _, cluster := range t.Clusters {
+			if t.Rays[cluster] == nil {
+				t.Rays[cluster] = make(map[string]float64)
+			}
+			t.Rays[cluster][master] = res.RaysPerNode[cluster]
+		}
+	}
+	return t
+}
+
+// Table7 runs ray2mesh with the master on each cluster and tabulates the
+// phase times.
+func Table7(scale float64) RayTable7 {
+	t := RayTable7{
+		Masters: ray2mesh.Sites,
+		Comp:    make(map[string]time.Duration),
+		Merge:   make(map[string]time.Duration),
+		Total:   make(map[string]time.Duration),
+	}
+	for _, master := range t.Masters {
+		res := ray2mesh.Run(ray2mesh.Default(master).Scaled(scale))
+		t.Comp[master] = res.CompTime
+		t.Merge[master] = res.MergeTime
+		t.Total[master] = res.TotalTime
+	}
+	return t
+}

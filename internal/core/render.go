@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/mpiimpl"
+	"repro/internal/tables"
+)
+
+// RenderPingPongFigure formats a bandwidth figure as a size × implementation
+// table (Mbps).
+func RenderPingPongFigure(f Figure) string {
+	headers := []string{"size"}
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	var rows [][]string
+	if len(f.Series) > 0 {
+		for i, p := range f.Series[0].Points {
+			row := []string{tables.Size(int64(p.Size))}
+			for _, s := range f.Series {
+				row = append(row, fmt.Sprintf("%.1f", s.Points[i].Mbps))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return f.Title + "\n" + tables.Render(headers, rows)
+}
+
+// RenderTable4 formats the latency table.
+func RenderTable4(rows []LatencyRow) string {
+	headers := []string{"", "cluster (us)", "grid (us)"}
+	var out [][]string
+	for _, r := range rows {
+		c := fmt.Sprintf("%.0f", float64(r.Cluster)/float64(time.Microsecond))
+		g := fmt.Sprintf("%.0f", float64(r.Grid)/float64(time.Microsecond))
+		if r.Impl != mpiimpl.RawTCP {
+			c += fmt.Sprintf(" (+%.0f)", float64(r.OverCluster)/float64(time.Microsecond))
+			g += fmt.Sprintf(" (+%.0f)", float64(r.OverGrid)/float64(time.Microsecond))
+		}
+		out = append(out, []string{r.Impl, c, g})
+	}
+	return "Table 4: one-way 1-byte latency, cluster vs grid\n" + tables.Render(headers, out)
+}
+
+// RenderTable5 formats the ideal-threshold table.
+func RenderTable5(rows []ThresholdRow) string {
+	headers := []string{"", "original threshold", "ideal (cluster)", "ideal (grid)"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Impl, r.Original, r.Cluster, r.Grid})
+	}
+	return "Table 5: ideal eager/rendezvous thresholds\n" + tables.Render(headers, out)
+}
+
+// RenderFigure9 formats the slow-start traces as sampled series: one line
+// per second per implementation.
+func RenderFigure9(traces []Trace) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: per-message bandwidth of 1 MB pingpongs over time (Mbps)\n")
+	for _, tr := range traces {
+		fmt.Fprintf(&b, "\n[%s]\n", tr.Label)
+		next := time.Duration(0)
+		for _, p := range tr.Points {
+			if p.T >= next {
+				fmt.Fprintf(&b, "  t=%6.2fs  %7.1f Mbps\n", p.T.Seconds(), p.Mbps)
+				next += 250 * time.Millisecond
+			}
+		}
+	}
+	return b.String()
+}
+
+// RenderNASFigure formats a benchmark × implementation matrix of relative
+// values, with DNF marks.
+func RenderNASFigure(f NASFigure) string {
+	headers := []string{"benchmark"}
+	headers = append(headers, mpiimpl.All...)
+	var rows [][]string
+	for _, bench := range f.Benchmarks {
+		row := []string{bench}
+		for _, impl := range mpiimpl.All {
+			if v, dnf := f.At(bench, impl); dnf {
+				row = append(row, "DNF")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return f.Title + "\n" + tables.Render(headers, rows)
+}
+
+// RenderTable2 formats the communication census.
+func RenderTable2(rows []CensusRow) string {
+	headers := []string{"bench", "type", "p2p msgs", "p2p bytes", "sizes", "collectives"}
+	var out [][]string
+	for _, r := range rows {
+		sizes := "-"
+		if r.P2PSends > 0 {
+			sizes = tables.Size(r.SmallestB) + " .. " + tables.Size(r.LargestB)
+		}
+		coll := "-"
+		if len(r.Collective) > 0 {
+			var parts []string
+			for _, op := range []string{"bcast", "reduce", "allreduce", "alltoall", "alltoallv", "barrier"} {
+				if n, ok := r.Collective[op]; ok {
+					parts = append(parts, fmt.Sprintf("%s x%d", op, n))
+				}
+			}
+			coll = strings.Join(parts, ", ")
+		}
+		out = append(out, []string{
+			r.Bench, r.Type,
+			fmt.Sprintf("%d", r.P2PSends),
+			fmt.Sprintf("%d", r.P2PBytes),
+			sizes, coll,
+		})
+	}
+	return "Table 2: NPB communication census (16 ranks)\n" + tables.Render(headers, out)
+}
+
+// RenderTable1 formats the feature matrix.
+func RenderTable1(rows []mpiimpl.Feature) string {
+	headers := []string{"", "long-distance optimizations", "heterogeneity management", "first/last publication"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Name, r.LongDistance, r.Heterogeneity, r.FirstLastPublic})
+	}
+	return "Table 1: implementation features\n" + tables.Render(headers, out)
+}
+
+// RenderTable6 formats the ray-distribution table.
+func RenderTable6(t RayTable6) string {
+	headers := []string{"cluster \\ master"}
+	headers = append(headers, t.Masters...)
+	var rows [][]string
+	for _, cluster := range t.Clusters {
+		row := []string{cluster}
+		for _, m := range t.Masters {
+			row = append(row, fmt.Sprintf("%.0f", t.Rays[cluster][m]))
+		}
+		rows = append(rows, row)
+	}
+	return "Table 6: mean rays per node by cluster and master location\n" + tables.Render(headers, rows)
+}
+
+// RenderTable7 formats the phase-time table.
+func RenderTable7(t RayTable7) string {
+	headers := []string{"phase"}
+	headers = append(headers, t.Masters...)
+	sec := func(m map[string]time.Duration) []string {
+		row := make([]string, 0, len(t.Masters))
+		for _, master := range t.Masters {
+			row = append(row, fmt.Sprintf("%.2f", m[master].Seconds()))
+		}
+		return row
+	}
+	rows := [][]string{
+		append([]string{"comp. time (s)"}, sec(t.Comp)...),
+		append([]string{"merge time (s)"}, sec(t.Merge)...),
+		append([]string{"total time (s)"}, sec(t.Total)...),
+	}
+	return "Table 7: ray2mesh phase times by master location\n" + tables.Render(headers, rows)
+}

@@ -1,0 +1,457 @@
+package mpi
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// gridCollMin is the smallest payload for which the grid-aware collective
+// algorithms are worthwhile; below it the latency of extra phases dominates
+// and the binomial algorithms win even across a WAN.
+const gridCollMin = 32 << 10
+
+// internal point-to-point helpers running in the collective context.
+
+func (r *Rank) csend(dst, tag int, size int64) {
+	r.sendProto(r.proc, dst, tag, size, ctxColl, false, nil)
+}
+
+func (r *Rank) cisend(dst, tag int, size int64) *Request {
+	req := &Request{rank: r, done: r.w.K.NewSignal()}
+	r.w.K.Go("coll-isend", func(p *sim.Proc) {
+		r.sendProto(p, dst, tag, size, ctxColl, false, nil)
+		req.done.Fire()
+	})
+	return req
+}
+
+func (r *Rank) crecv(src, tag int) Status { return r.Wait(r.irecv(src, tag, ctxColl)) }
+
+func (r *Rank) cirecv(src, tag int) *Request { return r.irecv(src, tag, ctxColl) }
+
+func (r *Rank) csendrecv(dst, sendTag int, size int64, src, recvTag int) {
+	sreq := r.cisend(dst, sendTag, size)
+	r.crecv(src, recvTag)
+	r.Wait(sreq)
+}
+
+// nextCollTag reserves a tag block for one collective call. All ranks call
+// collectives in the same order (the usual SPMD contract), so the blocks
+// agree across ranks.
+func (r *Rank) nextCollTag() int {
+	r.collSeq++
+	return r.collSeq << 6
+}
+
+// combineCost models the arithmetic of a reduction over n bytes.
+func (r *Rank) combineCost(n int64) {
+	r.Compute(time.Duration(float64(n) / r.w.Prof.CopyRate * float64(time.Second)))
+}
+
+// siteGroups returns rank ids grouped by site, in order of first
+// appearance; used by the grid-aware algorithms.
+func (w *World) siteGroups() [][]int {
+	var order []string
+	idx := make(map[string]int)
+	var groups [][]int
+	for _, rk := range w.ranks {
+		s := rk.host.Site
+		if _, ok := idx[s]; !ok {
+			idx[s] = len(groups)
+			groups = append(groups, nil)
+			order = append(order, s)
+		}
+		groups[idx[s]] = append(groups[idx[s]], rk.id)
+	}
+	_ = order
+	return groups
+}
+
+// Bcast broadcasts n payload bytes from root to every rank.
+func (r *Rank) Bcast(root int, n int) {
+	tag := r.nextCollTag()
+	if r.id == root {
+		r.w.stats.recordColl("bcast", int64(n))
+	}
+	groups := r.w.siteGroups()
+	if r.w.Prof.GridBcast {
+		if len(groups) == 2 && n >= gridCollMin {
+			r.gridBcast(tag, root, int64(n), groups)
+			return
+		}
+		if n >= largeBcastMin {
+			// GridMPI's large-message broadcast inside one cluster:
+			// van de Geijn scatter + ring allgather (2n per NIC instead
+			// of the binomial's log2(P)·n at the root).
+			r.scatterRingBcast(tag, root, int64(n))
+			return
+		}
+	}
+	r.binomialBcast(tag, root, int64(n))
+}
+
+// largeBcastMin is where scatter+allgather beats the binomial tree.
+const largeBcastMin = 512 << 10
+
+// scatterRingBcast: the root scatters P chunks, then a ring allgather
+// circulates them.
+func (r *Rank) scatterRingBcast(tag, root int, n int64) {
+	P := r.Size()
+	chunk := n / int64(P)
+	if chunk < 1 {
+		chunk = 1
+	}
+	vrank := (r.id - root + P) % P
+	// Scatter: root sends chunk i to vrank i.
+	if r.id == root {
+		reqs := make([]*Request, 0, P-1)
+		for v := 1; v < P; v++ {
+			reqs = append(reqs, r.cisend((v+root)%P, tag, chunk))
+		}
+		r.WaitAll(reqs...)
+	} else {
+		r.crecv(root, tag)
+	}
+	// Ring allgather: P-1 steps, each passing one chunk to the right.
+	right := (r.id + 1) % P
+	left := (r.id - 1 + P) % P
+	for s := 0; s < P-1; s++ {
+		r.csendrecv(right, tag+1+s, chunk, left, tag+1+s)
+	}
+	_ = vrank
+}
+
+// binomialBcast is the classic log2(P) tree used by the non-grid-aware
+// implementations; across a WAN its tree edges pay the full latency and
+// the root's single NIC carries the whole payload to the remote cluster.
+func (r *Rank) binomialBcast(tag, root int, n int64) {
+	P := r.Size()
+	vrank := (r.id - root + P) % P
+	mask := 1
+	for mask < P {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % P
+			r.crecv(parent, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < P {
+			child := ((vrank + mask) + root) % P
+			r.csend(child, tag, n)
+		}
+		mask >>= 1
+	}
+}
+
+// gridBcast is the van de Geijn style broadcast GridMPI uses between
+// clusters (Matsuda et al., Cluster'06): scatter the payload inside the
+// root's cluster, ship the chunks over the WAN on parallel node-to-node
+// connections, and allgather inside each cluster. The WAN phase moves n/k
+// bytes per flow on k simultaneous flows instead of n bytes on one.
+func (r *Rank) gridBcast(tag, root int, n int64, groups [][]int) {
+	local, remote := groups[0], groups[1]
+	if !contains(local, root) {
+		local, remote = remote, local
+	}
+	local = rotateToFront(local, root)
+	k := min(len(local), len(remote))
+	chunk := n / int64(k)
+	last := n - chunk*int64(k-1)
+
+	sz := func(i int) int64 {
+		if i == k-1 {
+			return last
+		}
+		return chunk
+	}
+
+	// Phase 1: scatter chunks inside the root cluster.
+	if r.id == root {
+		reqs := make([]*Request, 0, k-1)
+		for i := 1; i < k; i++ {
+			reqs = append(reqs, r.cisend(local[i], tag, sz(i)))
+		}
+		r.WaitAll(reqs...)
+	} else if i := indexOf(local[:k], r.id); i > 0 {
+		r.crecv(root, tag)
+	}
+
+	// Phase 2: parallel WAN transfers, pair i: local[i] -> remote[i].
+	if i := indexOf(local[:k], r.id); i >= 0 {
+		r.csend(remote[i], tag+1, sz(i))
+	} else if i := indexOf(remote[:k], r.id); i >= 0 {
+		r.crecv(local[i], tag+1)
+	}
+
+	// Phase 3: allgather chunks inside each cluster.
+	r.localAllgatherChunks(tag+2, local, remote, k, sz)
+}
+
+// localAllgatherChunks distributes the k chunks held by the first k
+// members of each site group to the rest of their group.
+func (r *Rank) localAllgatherChunks(tag int, local, remote []int, k int, sz func(int) int64) {
+	group := local
+	if !contains(group, r.id) {
+		group = remote
+	}
+	me := indexOf(group, r.id)
+	var reqs []*Request
+	// Post receives for every chunk another member holds.
+	for i := 0; i < k; i++ {
+		if i != me {
+			reqs = append(reqs, r.cirecv(group[i], tag))
+		}
+	}
+	// If I hold a chunk, send it to everyone else in my group.
+	if me < k {
+		for j := range group {
+			if j != me {
+				reqs = append(reqs, r.cisend(group[j], tag, sz(me)))
+			}
+		}
+	}
+	r.WaitAll(reqs...)
+}
+
+// Reduce combines n payload bytes from every rank onto root.
+func (r *Rank) Reduce(root int, n int) {
+	tag := r.nextCollTag()
+	if r.id == root {
+		r.w.stats.recordColl("reduce", int64(n))
+	}
+	r.binomialReduce(tag, root, int64(n))
+}
+
+func (r *Rank) binomialReduce(tag, root int, n int64) {
+	P := r.Size()
+	vrank := (r.id - root + P) % P
+	mask := 1
+	for mask < P {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % P
+			r.csend(parent, tag, n)
+			return
+		}
+		if child := vrank | mask; child < P {
+			r.crecv((child+root)%P, tag)
+			r.combineCost(n)
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce combines n payload bytes across all ranks, leaving the result
+// everywhere.
+func (r *Rank) Allreduce(n int) {
+	tag := r.nextCollTag()
+	if r.id == 0 {
+		r.w.stats.recordColl("allreduce", int64(n))
+	}
+	groups := r.w.siteGroups()
+	if r.w.Prof.GridAllreduce && len(groups) == 2 && n >= gridCollMin {
+		r.gridAllreduce(tag, int64(n), groups)
+		return
+	}
+	if isPow2(r.Size()) {
+		r.recursiveDoublingAllreduce(tag, int64(n), allRanks(r.Size()))
+		return
+	}
+	r.binomialReduce(tag, 0, int64(n))
+	r.binomialBcast(tag+1, 0, int64(n))
+}
+
+// recursiveDoublingAllreduce runs over the given rank group (a power of
+// two); each round exchanges the full payload with a partner.
+func (r *Rank) recursiveDoublingAllreduce(tag int, n int64, group []int) {
+	me := indexOf(group, r.id)
+	if me < 0 {
+		return
+	}
+	for mask := 1; mask < len(group); mask <<= 1 {
+		partner := group[me^mask]
+		r.csendrecv(partner, tag, n, partner, tag)
+		r.combineCost(n)
+		tag++
+	}
+}
+
+// gridAllreduce is the grid-aware Rabenseifner scheme: allreduce within
+// each cluster, exchange result chunks pairwise over parallel WAN flows,
+// then allgather the combined chunks inside each cluster.
+func (r *Rank) gridAllreduce(tag int, n int64, groups [][]int) {
+	g0, g1 := groups[0], groups[1]
+	mine, peer := g0, g1
+	if !contains(mine, r.id) {
+		mine, peer = g1, g0
+	}
+	// Phase 1: local allreduce.
+	if isPow2(len(mine)) {
+		r.recursiveDoublingAllreduce(tag, n, mine)
+	} else {
+		r.binomialReduce(tag, mine[0], n)
+		r.binomialBcast(tag+1, mine[0], n)
+	}
+	// Phase 2: pairwise WAN chunk exchange and combine.
+	k := min(len(g0), len(g1))
+	chunk := n / int64(k)
+	last := n - chunk*int64(k-1)
+	sz := func(i int) int64 {
+		if i == k-1 {
+			return last
+		}
+		return chunk
+	}
+	wtag := tag + 32
+	if i := indexOf(mine[:k], r.id); i >= 0 {
+		r.csendrecv(peer[i], wtag, sz(i), peer[i], wtag)
+		r.combineCost(sz(i))
+	}
+	// Phase 3: allgather combined chunks locally.
+	r.localAllgatherChunks(wtag+1, g0, g1, k, sz)
+}
+
+// Allgather makes every rank's block of n bytes available everywhere,
+// using the ring algorithm.
+func (r *Rank) Allgather(n int) {
+	tag := r.nextCollTag()
+	if r.id == 0 {
+		r.w.stats.recordColl("allgather", int64(n))
+	}
+	P := r.Size()
+	right := (r.id + 1) % P
+	left := (r.id - 1 + P) % P
+	for step := 0; step < P-1; step++ {
+		r.csendrecv(right, tag, int64(n), left, tag)
+		tag++
+	}
+}
+
+// Alltoall exchanges n bytes between every rank pair (each rank sends n to
+// every other rank). None of the four implementations optimizes it for the
+// grid (§4.3): all post the full isend/irecv storm at once, so a 16-rank
+// exchange drives dozens of simultaneous WAN flows into the uplink — the
+// oversubscription under which GridMPI's pacing shines and the others
+// take contention losses.
+func (r *Rank) Alltoall(n int) {
+	sizes := make([]int, r.Size())
+	for i := range sizes {
+		sizes[i] = n
+	}
+	r.alltoallv(sizes, "alltoall")
+}
+
+// Alltoallv is Alltoall with per-destination sizes; sizes[i] is what this
+// rank sends to rank i (sizes must agree pairwise across ranks, as in MPI).
+func (r *Rank) Alltoallv(sizes []int) {
+	r.alltoallv(sizes, "alltoallv")
+}
+
+func (r *Rank) alltoallv(sizes []int, op string) {
+	tag := r.nextCollTag()
+	if r.id == 0 {
+		var total int64
+		for _, s := range sizes {
+			total += int64(s)
+		}
+		r.w.stats.recordColl(op, total)
+	}
+	P := r.Size()
+	reqs := make([]*Request, 0, 2*(P-1))
+	for step := 1; step < P; step++ {
+		src := (r.id - step + P) % P
+		if sizes[src] >= 0 {
+			reqs = append(reqs, r.cirecv(src, tag))
+		}
+	}
+	for step := 1; step < P; step++ {
+		dst := (r.id + step) % P
+		reqs = append(reqs, r.cisend(dst, tag, int64(sizes[dst])))
+	}
+	r.WaitAll(reqs...)
+}
+
+// Gather collects n bytes from every rank at root.
+func (r *Rank) Gather(root int, n int) {
+	tag := r.nextCollTag()
+	if r.id == root {
+		r.w.stats.recordColl("gather", int64(n))
+		reqs := make([]*Request, 0, r.Size()-1)
+		for i := 0; i < r.Size(); i++ {
+			if i != root {
+				reqs = append(reqs, r.cirecv(i, tag))
+			}
+		}
+		r.WaitAll(reqs...)
+		return
+	}
+	r.csend(root, tag, int64(n))
+}
+
+// Scatter distributes n bytes from root to every rank.
+func (r *Rank) Scatter(root int, n int) {
+	tag := r.nextCollTag()
+	if r.id == root {
+		r.w.stats.recordColl("scatter", int64(n))
+		reqs := make([]*Request, 0, r.Size()-1)
+		for i := 0; i < r.Size(); i++ {
+			if i != root {
+				reqs = append(reqs, r.cisend(i, tag, int64(n)))
+			}
+		}
+		r.WaitAll(reqs...)
+		return
+	}
+	r.crecv(root, tag)
+}
+
+// Barrier synchronizes all ranks with the dissemination algorithm.
+func (r *Rank) Barrier() {
+	tag := r.nextCollTag()
+	if r.id == 0 {
+		r.w.stats.recordColl("barrier", 0)
+	}
+	P := r.Size()
+	for mask := 1; mask < P; mask <<= 1 {
+		dst := (r.id + mask) % P
+		src := (r.id - mask + P) % P
+		r.csendrecv(dst, tag, 1, src, tag)
+		tag++
+	}
+}
+
+// --- small helpers ---
+
+func contains(xs []int, v int) bool { return indexOf(xs, v) >= 0 }
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func rotateToFront(xs []int, v int) []int {
+	i := indexOf(xs, v)
+	if i <= 0 {
+		return xs
+	}
+	out := make([]int, 0, len(xs))
+	out = append(out, xs[i:]...)
+	return append(out, xs[:i]...)
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func allRanks(P int) []int {
+	out := make([]int, P)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

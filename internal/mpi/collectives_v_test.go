@@ -1,0 +1,73 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tcpsim"
+)
+
+func TestGathervScatterv(t *testing.T) {
+	k, w := newWorld(t, Reference(), tcpsim.Tuned4MB(), 2, true)
+	defer k.Close()
+	done := 0
+	_, err := w.Run(func(r *Rank) {
+		sizes := make([]int, r.Size())
+		for i := range sizes {
+			sizes[i] = 1024 * (i + 1)
+		}
+		sizes[2] = 0 // zero-size contributions must not deadlock
+		r.Scatterv(0, sizes)
+		r.Gatherv(0, sizes)
+		r.Gatherv(1, sizes) // non-zero root
+		done++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	s := w.Stats()
+	if s.CollCalls("gatherv") != 2 || s.CollCalls("scatterv") != 1 {
+		t.Fatalf("census: gatherv=%d scatterv=%d", s.CollCalls("gatherv"), s.CollCalls("scatterv"))
+	}
+}
+
+func TestReduceScatterAndScan(t *testing.T) {
+	k, w := newWorld(t, Reference(), tcpsim.Tuned4MB(), 4, true)
+	defer k.Close()
+	exits := make([]time.Duration, 0, 8)
+	_, err := w.Run(func(r *Rank) {
+		r.ReduceScatter(256 << 10)
+		r.Scan(8 << 10)
+		exits = append(exits, time.Duration(r.Now()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exits) != 8 {
+		t.Fatalf("ranks finished = %d", len(exits))
+	}
+}
+
+// TestScanIsPrefixOrdered: the linear scan completes rank i only after
+// rank i-1, so exit times increase along the chain.
+func TestScanIsPrefixOrdered(t *testing.T) {
+	k, w := newWorld(t, Reference(), tcpsim.Tuned4MB(), 2, true)
+	defer k.Close()
+	exits := make(map[int]time.Duration)
+	_, err := w.Run(func(r *Rank) {
+		r.Scan(4 << 10)
+		exits[r.Rank()] = time.Duration(r.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-final rank must have received before the next one exits.
+	for i := 1; i < 4; i++ {
+		if exits[i] < exits[i-1] {
+			t.Fatalf("scan exits out of prefix order: %v", exits)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package netsim models the physical network of a computational grid:
+// hosts with NICs, shared links, and host-to-host paths with one-way delay
+// and a chain of capacity-constrained links.
+//
+// Capacity sharing uses a max-min-style approximation suited to flow-level
+// TCP simulation: each link tracks how many flows are actively transferring
+// through it, and a flow's attainable rate on a path is the minimum over the
+// path's links of rate/activeFlows. The tcpsim package samples this share
+// once per congestion-window round, so shares adapt as flows come and go.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Host is a grid node: a named machine on a site with a relative CPU speed
+// and a dedicated NIC link.
+type Host struct {
+	Name string
+	Site string
+	// CPUSpeed is the node's relative compute speed; 1.0 is the reference
+	// (the paper's Rennes Opteron 248). Application compute times divide
+	// by this factor.
+	CPUSpeed float64
+	// NIC is the transmit side and NICIn the receive side of the host's
+	// full-duplex network interface: outgoing flows contend on NIC,
+	// incoming flows (incast) on NICIn, and opposite directions never
+	// contend with each other.
+	NIC   *Link
+	NICIn *Link
+}
+
+func (h *Host) String() string { return h.Name }
+
+// Link is a shared transmission resource with a fixed raw rate in bytes per
+// second. Flows register while actively transferring; the link divides its
+// rate evenly among them.
+type Link struct {
+	Name   string
+	Rate   float64 // bytes/second, raw (framing efficiency is applied by tcpsim)
+	active int
+}
+
+// Acquire registers one active flow on the link.
+func (l *Link) Acquire() { l.active++ }
+
+// Release deregisters one active flow. Releasing an idle link panics, as it
+// indicates a flow accounting bug.
+func (l *Link) Release() {
+	if l.active <= 0 {
+		panic(fmt.Sprintf("netsim: release of idle link %s", l.Name))
+	}
+	l.active--
+}
+
+// Active reports the number of flows currently registered.
+func (l *Link) Active() int { return l.active }
+
+// Share returns the rate available to one of the currently active flows.
+// If no flow is registered it returns the full rate.
+func (l *Link) Share() float64 {
+	if l.active <= 1 {
+		return l.Rate
+	}
+	return l.Rate / float64(l.active)
+}
+
+// Path is a unidirectional route between two hosts.
+type Path struct {
+	Src, Dst *Host
+	// OneWay is the one-way propagation + switching delay, excluding
+	// serialization (which depends on the transfer size and is computed by
+	// the transport).
+	OneWay time.Duration
+	// Links is the ordered chain of shared links the path crosses.
+	Links []*Link
+}
+
+// RTT is the round-trip propagation delay of the path.
+func (p *Path) RTT() time.Duration { return 2 * p.OneWay }
+
+// Acquire registers an active flow on every link of the path.
+func (p *Path) Acquire() {
+	for _, l := range p.Links {
+		l.Acquire()
+	}
+}
+
+// Release deregisters an active flow from every link of the path.
+func (p *Path) Release() {
+	for _, l := range p.Links {
+		l.Release()
+	}
+}
+
+// ShareRate returns the current bottleneck fair-share rate (bytes/second)
+// for a flow that has already Acquired the path.
+func (p *Path) ShareRate() float64 {
+	rate := p.Links[0].Share()
+	for _, l := range p.Links[1:] {
+		if s := l.Share(); s < rate {
+			rate = s
+		}
+	}
+	return rate
+}
+
+// Bottleneck returns the minimum raw rate along the path.
+func (p *Path) Bottleneck() float64 {
+	rate := p.Links[0].Rate
+	for _, l := range p.Links[1:] {
+		if l.Rate < rate {
+			rate = l.Rate
+		}
+	}
+	return rate
+}
+
+func (p *Path) String() string {
+	return fmt.Sprintf("%s->%s owd=%v", p.Src.Name, p.Dst.Name, p.OneWay)
+}
+
+// Network is a set of hosts plus a route table of host-pair paths.
+type Network struct {
+	hosts   map[string]*Host
+	ordered []*Host
+	paths   map[[2]string]*Path
+	// uplinks maps a site name to its shared WAN access links (egress and
+	// ingress sides), if any.
+	uplinks map[string]*duplex
+	// intraOWD remembers each site's intra-cluster one-way delay.
+	intraOWD map[string]time.Duration
+}
+
+// New creates an empty network.
+// duplex is a full-duplex link pair.
+type duplex struct {
+	out *Link
+	in  *Link
+}
+
+func New() *Network {
+	return &Network{
+		hosts:    make(map[string]*Host),
+		paths:    make(map[[2]string]*Path),
+		uplinks:  make(map[string]*duplex),
+		intraOWD: make(map[string]time.Duration),
+	}
+}
+
+// AddHost creates a host with a dedicated NIC of the given rate (bytes/s).
+func (n *Network) AddHost(name, site string, cpuSpeed, nicRate float64) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic("netsim: duplicate host " + name)
+	}
+	h := &Host{
+		Name:     name,
+		Site:     site,
+		CPUSpeed: cpuSpeed,
+		NIC:      &Link{Name: name + ":nic-tx", Rate: nicRate},
+		NICIn:    &Link{Name: name + ":nic-rx", Rate: nicRate},
+	}
+	n.hosts[name] = h
+	n.ordered = append(n.ordered, h)
+	return h
+}
+
+// Host returns the named host, or nil.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// Hosts returns all hosts in insertion order.
+func (n *Network) Hosts() []*Host { return n.ordered }
+
+// SiteHosts returns the hosts of one site, in insertion order.
+func (n *Network) SiteHosts(site string) []*Host {
+	var out []*Host
+	for _, h := range n.ordered {
+		if h.Site == site {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Sites returns the distinct site names, sorted.
+func (n *Network) Sites() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, h := range n.ordered {
+		if !seen[h.Site] {
+			seen[h.Site] = true
+			out = append(out, h.Site)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddSite creates count hosts named <site>-1..count on one cluster with a
+// non-blocking switch: intra-site paths cross only the two NICs.
+func (n *Network) AddSite(site string, count int, cpuSpeed, nicRate float64, intraOWD time.Duration) []*Host {
+	hosts := make([]*Host, count)
+	for i := range hosts {
+		hosts[i] = n.AddHost(fmt.Sprintf("%s-%d", site, i+1), site, cpuSpeed, nicRate)
+	}
+	n.intraOWD[site] = intraOWD
+	// Full mesh of intra-site paths (switch assumed non-blocking).
+	all := n.SiteHosts(site)
+	for _, a := range all {
+		for _, b := range all {
+			if a != b {
+				n.setPath(a, b, intraOWD, []*Link{a.NIC, b.NICIn})
+			}
+		}
+	}
+	return hosts
+}
+
+// SetUplink gives a site a shared full-duplex WAN access of the given rate
+// per direction. All inter-site paths from or to the site cross it. Call
+// before ConnectSites.
+func (n *Network) SetUplink(site string, rate float64) {
+	n.uplinks[site] = &duplex{
+		out: &Link{Name: site + ":uplink-out", Rate: rate},
+		in:  &Link{Name: site + ":uplink-in", Rate: rate},
+	}
+}
+
+// ConnectSites installs paths between every host of site a and every host
+// of site b (both directions) with one-way delay owd. Paths cross the two
+// NICs and any configured site uplinks.
+func (n *Network) ConnectSites(a, b string, owd time.Duration) {
+	ha, hb := n.SiteHosts(a), n.SiteHosts(b)
+	if len(ha) == 0 || len(hb) == 0 {
+		panic(fmt.Sprintf("netsim: ConnectSites(%q,%q): missing hosts", a, b))
+	}
+	for _, x := range ha {
+		for _, y := range hb {
+			n.setPath(x, y, owd, n.wanLinks(x, y))
+			n.setPath(y, x, owd, n.wanLinks(y, x))
+		}
+	}
+}
+
+func (n *Network) wanLinks(src, dst *Host) []*Link {
+	links := []*Link{src.NIC}
+	if up := n.uplinks[src.Site]; up != nil {
+		links = append(links, up.out)
+	}
+	if up := n.uplinks[dst.Site]; up != nil {
+		links = append(links, up.in)
+	}
+	return append(links, dst.NICIn)
+}
+
+func (n *Network) setPath(a, b *Host, owd time.Duration, links []*Link) {
+	n.paths[[2]string{a.Name, b.Name}] = &Path{Src: a, Dst: b, OneWay: owd, Links: links}
+}
+
+// LoopbackRate is the byte rate of intra-host communication (shared-memory
+// copy speed) and LoopbackDelay its latency.
+const (
+	LoopbackRate  = 2.5e9
+	LoopbackDelay = 5 * time.Microsecond
+)
+
+// Path returns the route from a to b. Two processes on the same host
+// communicate over a synthetic loopback path. It panics when no route
+// exists between distinct hosts, because every experiment topology is
+// fully connected by construction.
+func (n *Network) Path(a, b *Host) *Path {
+	key := [2]string{a.Name, b.Name}
+	if p, ok := n.paths[key]; ok {
+		return p
+	}
+	if a == b {
+		p := &Path{
+			Src: a, Dst: b,
+			OneWay: LoopbackDelay,
+			Links:  []*Link{{Name: a.Name + ":lo", Rate: LoopbackRate}},
+		}
+		n.paths[key] = p
+		return p
+	}
+	panic(fmt.Sprintf("netsim: no path %s -> %s", a.Name, b.Name))
+}
+
+// SameSite reports whether two hosts are on the same site.
+func SameSite(a, b *Host) bool { return a.Site == b.Site }

@@ -1,0 +1,283 @@
+package npb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpiimpl"
+)
+
+// run is a helper with a small scale for test speed.
+func run(t *testing.T, bench, impl string, np int, placement Placement, scale float64) Result {
+	t.Helper()
+	res := Run(Job{Bench: bench, Impl: impl, NP: np, Placement: placement, Scale: scale})
+	if res.DNF {
+		t.Fatalf("%s/%s unexpectedly timed out after %v", bench, impl, res.Elapsed)
+	}
+	return res
+}
+
+func TestAllBenchmarksCompleteBothPlacements(t *testing.T) {
+	for _, spec := range Suite() {
+		for _, placement := range []Placement{SingleCluster, TwoClusters} {
+			res := run(t, spec.Name, mpiimpl.MPICH2, 16, placement, 0.02)
+			if res.Elapsed <= 0 {
+				t.Errorf("%s placement=%v: elapsed %v", spec.Name, placement, res.Elapsed)
+			}
+		}
+	}
+}
+
+func TestAllBenchmarksCompleteOn4Ranks(t *testing.T) {
+	for _, spec := range Suite() {
+		res := run(t, spec.Name, mpiimpl.GridMPI, 4, TwoClusters, 0.02)
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: elapsed %v", spec.Name, res.Elapsed)
+		}
+	}
+}
+
+// TestTable2Census verifies the skeletons against the paper's message
+// census (Table 2): point-to-point counts and size classes, and the
+// collective structure of IS and FT. Counts are checked at a reduced scale
+// with proportional expectations.
+func TestTable2Census(t *testing.T) {
+	const scale = 0.2
+	tol := func(got, want float64) bool { return got > want*0.7 && got < want*1.3 }
+
+	t.Run("EP", func(t *testing.T) {
+		s := run(t, "EP", mpiimpl.MPICH2, 16, SingleCluster, 1).Stats // EP is cheap at full scale
+		// 192 × 8 B + 68 × 80 B over the job; our trees give (np-1) per sum.
+		if got := s.CountBetween(8, 8); !tol(float64(got), 180) {
+			t.Errorf("8 B messages = %d, want ≈180 (paper: 192)", got)
+		}
+		if got := s.CountBetween(80, 80); !tol(float64(got), 60) {
+			t.Errorf("80 B messages = %d, want ≈60 (paper: 68)", got)
+		}
+	})
+
+	t.Run("CG", func(t *testing.T) {
+		s := run(t, "CG", mpiimpl.MPICH2, 16, SingleCluster, scale).Stats
+		// Paper: 86944 × 147 kB; at scale 0.2 ≈ 17400.
+		if got := s.CountBetween(100<<10, 200<<10); !tol(float64(got), 86944*scale) {
+			t.Errorf("147 kB messages = %d, want ≈%.0f", got, 86944*scale)
+		}
+		// Paper: 126479 × 8 B.
+		if got := s.CountBetween(1, 16); !tol(float64(got), 126479*scale) {
+			t.Errorf("8 B messages = %d, want ≈%.0f", got, 126479*scale)
+		}
+	})
+
+	t.Run("MG", func(t *testing.T) {
+		s := run(t, "MG", mpiimpl.MPICH2, 16, SingleCluster, scale).Stats
+		// Paper: 50809 messages from 4 B to 130 kB.
+		if got := s.CountBetween(1, 131<<10); !tol(float64(got), 50809*scale) {
+			t.Errorf("total messages = %d, want ≈%.0f", got, 50809*scale)
+		}
+		rows := s.SizeCensus()
+		if rows[0].Size > 16 || rows[len(rows)-1].Size < 100<<10 {
+			t.Errorf("size span = [%d, %d], want 8 B…130 kB", rows[0].Size, rows[len(rows)-1].Size)
+		}
+	})
+
+	t.Run("LU", func(t *testing.T) {
+		s := run(t, "LU", mpiimpl.MPICH2, 16, SingleCluster, 0.05).Stats
+		// Paper: 1.2 M messages of 960–1040 B over 250 iterations.
+		iters := float64((Params{NP: 16, Scale: 0.05}).iters(250))
+		want := 1.2e6 * iters / 250
+		if got := s.CountBetween(900, 1100); !tol(float64(got), want) {
+			t.Errorf("1 kB messages = %d, want ≈%.0f", got, want)
+		}
+		if got := s.CountBetween(2000, 1<<30); got != 0 {
+			t.Errorf("LU sent %d messages above ~1 kB, want none", got)
+		}
+	})
+
+	t.Run("SP", func(t *testing.T) {
+		s := run(t, "SP", mpiimpl.MPICH2, 16, SingleCluster, scale).Stats
+		if got := s.CountBetween(40<<10, 60<<10); !tol(float64(got), 57744*scale) {
+			t.Errorf("~50 kB messages = %d, want ≈%.0f", got, 57744*scale)
+		}
+		if got := s.CountBetween(100<<10, 160<<10); !tol(float64(got), 96336*scale) {
+			t.Errorf("100-160 kB messages = %d, want ≈%.0f", got, 96336*scale)
+		}
+	})
+
+	t.Run("BT", func(t *testing.T) {
+		s := run(t, "BT", mpiimpl.MPICH2, 16, SingleCluster, scale).Stats
+		if got := s.CountBetween(20<<10, 30<<10); !tol(float64(got), 28944*scale) {
+			t.Errorf("26 kB messages = %d, want ≈%.0f", got, 28944*scale)
+		}
+		if got := s.CountBetween(146<<10, 156<<10); !tol(float64(got), 48336*scale) {
+			t.Errorf("146-156 kB messages = %d, want ≈%.0f", got, 48336*scale)
+		}
+	})
+
+	t.Run("IS", func(t *testing.T) {
+		s := run(t, "IS", mpiimpl.MPICH2, 16, SingleCluster, 1).Stats
+		if got := s.CollCalls("allreduce"); got != 11 {
+			t.Errorf("allreduce calls = %d, want 11 (one per iteration)", got)
+		}
+		if got := s.CollCalls("alltoallv"); got != 11 {
+			t.Errorf("alltoallv calls = %d, want 11", got)
+		}
+		if s.P2PSends != 0 {
+			t.Errorf("IS is collective-only in the paper; saw %d p2p sends", s.P2PSends)
+		}
+	})
+
+	t.Run("FT", func(t *testing.T) {
+		s := run(t, "FT", mpiimpl.MPICH2, 16, SingleCluster, 1).Stats
+		if got := s.CollCalls("bcast"); got != 20 {
+			t.Errorf("bcast calls = %d, want 20", got)
+		}
+		if got := s.CollCalls("allreduce"); got != 20 {
+			t.Errorf("allreduce calls = %d, want 20", got)
+		}
+	})
+}
+
+// TestGridOverheadOrdering checks the qualitative heart of Figure 12: EP is
+// nearly free on the grid, LU/SP/BT tolerate it, CG and MG suffer badly.
+func TestGridOverheadOrdering(t *testing.T) {
+	const scale = 0.1
+	rel := func(bench string) float64 {
+		cl := run(t, bench, mpiimpl.GridMPI, 16, SingleCluster, scale)
+		gr := run(t, bench, mpiimpl.GridMPI, 16, TwoClusters, scale)
+		return cl.Elapsed.Seconds() / gr.Elapsed.Seconds()
+	}
+	ep := rel("EP")
+	cg := rel("CG")
+	lu := rel("LU")
+	mg := rel("MG")
+	if ep < 0.9 {
+		t.Errorf("EP grid/cluster = %.2f, want ≈1 (almost no communication)", ep)
+	}
+	if !(ep > lu && lu > cg) {
+		t.Errorf("ordering broken: EP %.2f, LU %.2f, CG %.2f (want EP > LU > CG)", ep, lu, cg)
+	}
+	if cg > 0.65 {
+		t.Errorf("CG grid relative perf = %.2f, want ≤0.65 (latency-bound)", cg)
+	}
+	if mg > 0.75 {
+		t.Errorf("MG grid relative perf = %.2f, want ≤0.75", mg)
+	}
+	if lu < 0.55 {
+		t.Errorf("LU grid relative perf = %.2f, want ≥0.55 (pipelined wavefront)", lu)
+	}
+}
+
+// TestMadeleineTimesOutOnGridBTSP reproduces the paper's DNF: with the
+// fast-buffer slow path, BT and SP across the WAN exceed a 2.5× budget.
+func TestMadeleineTimesOutOnGridBTSP(t *testing.T) {
+	const scale = 0.05
+	for _, bench := range []string{"BT", "SP"} {
+		ref := run(t, bench, mpiimpl.MPICH2, 16, TwoClusters, scale)
+		res := Run(Job{
+			Bench: bench, Impl: mpiimpl.Madeleine, NP: 16,
+			Placement: TwoClusters, Scale: scale,
+			Timeout: ref.Elapsed * 2,
+		})
+		if !res.DNF {
+			t.Errorf("%s with MPICH-Madeleine finished in %v (MPICH2: %v); paper reports a timeout",
+				bench, res.Elapsed, ref.Elapsed)
+		}
+		// The same job inside one cluster completes.
+		cl := run(t, bench, mpiimpl.Madeleine, 16, SingleCluster, scale)
+		if cl.Elapsed <= 0 {
+			t.Errorf("%s Madeleine cluster run broken", bench)
+		}
+	}
+}
+
+// TestCGSurvivesMadeleine: CG's 147 kB messages fit the fast buffer, so
+// Madeleine completes CG on the grid (as in Figure 10).
+func TestCGSurvivesMadeleine(t *testing.T) {
+	const scale = 0.05
+	ref := run(t, "CG", mpiimpl.MPICH2, 16, TwoClusters, scale)
+	res := Run(Job{
+		Bench: "CG", Impl: mpiimpl.Madeleine, NP: 16,
+		Placement: TwoClusters, Scale: scale,
+		Timeout: ref.Elapsed * 2,
+	})
+	if res.DNF {
+		t.Fatalf("CG with Madeleine timed out (%v vs MPICH2 %v); its 147 kB messages should fit the fast path",
+			res.Elapsed, ref.Elapsed)
+	}
+}
+
+// TestGridMPIWinsCollectives: GridMPI's broadcast optimization gives it a
+// large FT advantage over MPICH2 on the grid (Figure 10's tallest bar).
+func TestGridMPIWinsCollectives(t *testing.T) {
+	const scale = 0.25
+	mp := run(t, "FT", mpiimpl.MPICH2, 16, TwoClusters, scale)
+	gm := run(t, "FT", mpiimpl.GridMPI, 16, TwoClusters, scale)
+	if ratio := mp.Elapsed.Seconds() / gm.Elapsed.Seconds(); ratio < 1.5 {
+		t.Errorf("GridMPI FT speedup = %.2f, want ≥1.5 (paper ≈3.5)", ratio)
+	}
+	mpIS := run(t, "IS", mpiimpl.MPICH2, 16, TwoClusters, scale)
+	gmIS := run(t, "IS", mpiimpl.GridMPI, 16, TwoClusters, scale)
+	if ratio := mpIS.Elapsed.Seconds() / gmIS.Elapsed.Seconds(); ratio < 1.1 {
+		t.Errorf("GridMPI IS speedup = %.2f, want ≥1.1", ratio)
+	}
+}
+
+// TestScaleUpBeatsSmallCluster is Figure 13's headline: 16 grid nodes beat
+// 4 local nodes for every benchmark (speedup > 1), approaching 4 for the
+// compute-bound ones.
+func TestScaleUpBeatsSmallCluster(t *testing.T) {
+	// A larger scale lets the WAN flows' congestion windows open, as they
+	// do over the full class-B runs; tiny scales overweight the ramp-up.
+	const scale = 0.2
+	for _, bench := range []string{"EP", "LU", "BT"} {
+		small := run(t, bench, mpiimpl.GridMPI, 4, SingleCluster, scale)
+		big := run(t, bench, mpiimpl.GridMPI, 16, TwoClusters, scale)
+		speedup := small.Elapsed.Seconds() / big.Elapsed.Seconds()
+		if speedup < 2.5 {
+			t.Errorf("%s speedup 4→16 = %.2f, want ≥2.5 (paper ≈3-4)", bench, speedup)
+		}
+		if speedup > 4.6 {
+			t.Errorf("%s speedup 4→16 = %.2f, impossibly high", bench, speedup)
+		}
+	}
+	small := run(t, "CG", mpiimpl.GridMPI, 4, SingleCluster, scale)
+	big := run(t, "CG", mpiimpl.GridMPI, 16, TwoClusters, scale)
+	if speedup := small.Elapsed.Seconds() / big.Elapsed.Seconds(); speedup < 1 {
+		t.Errorf("CG grid speedup = %.2f; the paper still sees >1", speedup)
+	}
+}
+
+func TestIterationScaling(t *testing.T) {
+	p := Params{NP: 16, Scale: 0.5}
+	if got := p.iters(250); got != 125 {
+		t.Fatalf("iters(250)@0.5 = %d", got)
+	}
+	p.Scale = 0.001
+	if got := p.iters(20); got != 1 {
+		t.Fatalf("iters floor = %d, want 1", got)
+	}
+}
+
+// TestDeterministicRuns: identical jobs produce identical virtual times —
+// the property every relative figure in the paper reproduction relies on.
+func TestDeterministicRuns(t *testing.T) {
+	job := Job{Bench: "CG", Impl: mpiimpl.GridMPI, NP: 16, Placement: TwoClusters, Scale: 0.05}
+	a := Run(job)
+	b := Run(job)
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("non-deterministic NPB run: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if a.Stats.P2PSends != b.Stats.P2PSends {
+		t.Fatalf("census differs between identical runs")
+	}
+}
+
+func TestResultTimeoutDefault(t *testing.T) {
+	res := Run(Job{Bench: "EP", Impl: mpiimpl.MPICH2, NP: 4, Placement: SingleCluster, Scale: 0.01})
+	if res.DNF {
+		t.Fatal("EP timed out under the default one-hour budget")
+	}
+	if res.Elapsed > time.Hour {
+		t.Fatalf("elapsed = %v", res.Elapsed)
+	}
+}

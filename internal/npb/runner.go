@@ -1,0 +1,82 @@
+package npb
+
+import (
+	"time"
+
+	"repro/internal/grid5000"
+	"repro/internal/mpi"
+	"repro/internal/mpiimpl"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Placement of the NPB job's ranks.
+type Placement int
+
+const (
+	// SingleCluster puts all ranks in Rennes.
+	SingleCluster Placement = iota
+	// TwoClusters splits ranks evenly between Rennes and Nancy across the
+	// 11.6 ms WAN (the paper's 8-8 and 2-2 layouts).
+	TwoClusters
+)
+
+// Job describes one benchmark execution.
+type Job struct {
+	Bench     string
+	Impl      string // mpiimpl name
+	NP        int
+	Placement Placement
+	Scale     float64
+	// Timeout aborts the run (the paper's "application timeout"); zero
+	// means a generous default of one simulated hour.
+	Timeout time.Duration
+}
+
+// Result of a Job.
+type Result struct {
+	Job     Job
+	Elapsed time.Duration
+	// DNF is set when the job hit its timeout, as MPICH-Madeleine does on
+	// grid BT/SP in the paper.
+	DNF bool
+	// Stats is the world's communication census.
+	Stats *mpi.Stats
+}
+
+// Run executes the job on a fresh simulated testbed. NPB jobs always run
+// with the paper's §4.2 TCP tuning (the study tunes first, then runs the
+// applications); implementation defaults like eager thresholds stay.
+func Run(job Job) Result {
+	if job.Scale == 0 {
+		job.Scale = 1
+	}
+	if job.Timeout == 0 {
+		job.Timeout = time.Hour
+	}
+	prof, tcp := mpiimpl.Configure(job.Impl, true, false)
+	k := sim.New(1)
+	defer k.Close()
+
+	var net *netsim.Network
+	var hosts []*netsim.Host
+	if job.Placement == TwoClusters {
+		net = grid5000.Build(job.NP/2, grid5000.Rennes, grid5000.Nancy)
+		hosts = append(hosts, net.SiteHosts(grid5000.Rennes)...)
+		hosts = append(hosts, net.SiteHosts(grid5000.Nancy)...)
+	} else {
+		net = grid5000.Build(job.NP, grid5000.Rennes)
+		hosts = net.SiteHosts(grid5000.Rennes)
+	}
+	w := mpi.NewWorld(k, net, tcp, prof, hosts)
+
+	spec := Get(job.Bench)
+	params := Params{NP: job.NP, Scale: job.Scale}
+	elapsed, err := w.RunTimeout(func(r *mpi.Rank) { spec.Run(r, params) }, job.Timeout)
+	return Result{
+		Job:     job,
+		Elapsed: elapsed,
+		DNF:     err != nil,
+		Stats:   w.Stats(),
+	}
+}

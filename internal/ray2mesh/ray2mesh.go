@@ -1,0 +1,228 @@
+// Package ray2mesh models the paper's real application (§4.4): the
+// seismic ray-tracing suite of Grunberg et al., run as one master and 32
+// slaves on four Grid'5000 clusters (eight nodes each).
+//
+// The master hands out rays in 1000-ray chunks (69 kB messages); a slave
+// computes a chunk, returns a request, and receives the next — faster
+// slaves therefore compute more rays (Table 6), and the cluster hosting
+// the master gets a small proximity advantage in the end-game when the
+// last chunks are claimed. Once all rays are traced, every slave exchanges
+// its submesh contributions with every other (~235 MB per node) and merges
+// what it receives (Table 7's merge phase).
+package ray2mesh
+
+import (
+	"time"
+
+	"repro/internal/grid5000"
+	"repro/internal/mpi"
+	"repro/internal/mpiimpl"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Config parameterises a run. Use Default as a starting point.
+type Config struct {
+	// MasterSite hosts the master process (co-located with the first
+	// slave of that cluster, as 33 processes run on 32 nodes).
+	MasterSite string
+	// Rays is the global ray count (paper: one million).
+	Rays int
+	// ChunkRays is the self-scheduling quantum (paper: 1000 rays, 69 kB).
+	ChunkRays int
+	// ChunkBytes is the wire size of one chunk message.
+	ChunkBytes int
+	// RayCost is the per-ray compute time on the reference CPU.
+	RayCost time.Duration
+	// MergeBytes is the submesh data each slave contributes (paper:
+	// ~235 MB per node).
+	MergeBytes int64
+	// MergeRate is the per-node mesh-merging processing rate in bytes per
+	// second of received data (the merge phase is CPU-bound in the paper:
+	// ~165 s for ~235 MB).
+	MergeRate float64
+	// Impl is the MPI implementation profile to use (the paper used
+	// LAM/MPI for these runs; any of the four profiles works).
+	Impl string
+}
+
+// Default returns the paper's configuration with the master on the given
+// site.
+func Default(masterSite string) Config {
+	return Config{
+		MasterSite: masterSite,
+		Rays:       1_000_000,
+		ChunkRays:  1000,
+		ChunkBytes: 69 << 10,
+		RayCost:    6100 * time.Microsecond,
+		MergeBytes: 235 << 20,
+		MergeRate:  1.62e6,
+		Impl:       mpiimpl.MPICH2,
+	}
+}
+
+// Scaled returns the configuration shrunk by factor f (rays and merge
+// volume), for fast tests.
+func (c Config) Scaled(f float64) Config {
+	c.Rays = int(float64(c.Rays) * f)
+	if c.Rays < c.ChunkRays {
+		c.Rays = c.ChunkRays
+	}
+	c.MergeBytes = int64(float64(c.MergeBytes) * f)
+	return c
+}
+
+// Result of one run.
+type Result struct {
+	// RaysPerNode is the mean ray count per node of each cluster —
+	// Table 6's cells.
+	RaysPerNode map[string]float64
+	// TotalRays double-checks conservation.
+	TotalRays int
+	// CompTime, MergeTime, TotalTime are Table 7's rows.
+	CompTime  time.Duration
+	MergeTime time.Duration
+	TotalTime time.Duration
+}
+
+const (
+	tagRequest = 1
+	tagChunk   = 2
+	tagMerge   = 3
+	reqBytes   = 64
+)
+
+// Sites lists the four clusters in the paper's Table 6 column order.
+var Sites = []string{grid5000.Nancy, grid5000.Rennes, grid5000.Sophia, grid5000.Toulouse}
+
+// run-local result accounting (chunk grants travel inside the messages
+// themselves via SendPayload).
+type state struct {
+	cfg      Config
+	raysDone []int
+	compEnd  sim.Time
+}
+
+// Run executes the application on the four-site testbed.
+func Run(cfg Config) Result {
+	prof, tcp := mpiimpl.Configure(cfg.Impl, true, false)
+	k := sim.New(1)
+	defer k.Close()
+
+	net := grid5000.RayTestbed()
+	var slaves []*netsim.Host
+	for _, s := range Sites {
+		slaves = append(slaves, net.SiteHosts(s)...)
+	}
+	// Rank 0 (master) shares the first node of its site with that slave.
+	master := net.Host(cfg.MasterSite + "-1")
+	hosts := append([]*netsim.Host{master}, slaves...)
+	w := mpi.NewWorld(k, net, tcp, prof, hosts)
+	nSlaves := len(slaves)
+
+	st := &state{
+		cfg:      cfg,
+		raysDone: make([]int, nSlaves+1),
+	}
+	var mergeEnd sim.Time
+	_, err := w.Run(func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			runMaster(r, st, nSlaves)
+		} else {
+			runSlaveCompute(r, st)
+		}
+		// All processes synchronize before the merge phase starts.
+		r.Barrier()
+		if r.Rank() == 0 {
+			return
+		}
+		if t := r.Now(); t > st.compEnd {
+			st.compEnd = t
+		}
+		runSlaveMerge(r, st)
+		if t := r.Now(); t > mergeEnd {
+			mergeEnd = t
+		}
+	})
+	if err != nil {
+		panic("ray2mesh: " + err.Error())
+	}
+
+	res := Result{
+		RaysPerNode: make(map[string]float64),
+		TotalTime:   mergeEnd,
+		CompTime:    time.Duration(st.compEnd),
+		MergeTime:   mergeEnd - time.Duration(st.compEnd),
+	}
+	perSite := make(map[string]int)
+	for i := 1; i <= nSlaves; i++ {
+		perSite[hosts[i].Site] += st.raysDone[i]
+		res.TotalRays += st.raysDone[i]
+	}
+	for _, s := range Sites {
+		res.RaysPerNode[s] = float64(perSite[s]) / 8
+	}
+	return res
+}
+
+func runMaster(r *mpi.Rank, st *state, nSlaves int) {
+	remaining := st.cfg.Rays
+	send := func(slave int) bool {
+		n := st.cfg.ChunkRays
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		if n > 0 {
+			r.SendPayload(slave, tagChunk, st.cfg.ChunkBytes, n)
+			return true
+		}
+		r.SendPayload(slave, tagChunk, 1, 0) // empty grant: done marker
+		return false
+	}
+	// Initial round: one chunk per slave.
+	for s := 1; s <= nSlaves; s++ {
+		send(s)
+	}
+	// Self-scheduling loop: serve requests first come, first served.
+	active := nSlaves
+	for active > 0 {
+		req := r.Recv(mpi.AnySource, tagRequest)
+		if !send(req.Source) {
+			active--
+		}
+	}
+}
+
+func runSlaveCompute(r *mpi.Rank, st *state) {
+	me := r.Rank()
+	for {
+		chunk := r.Recv(0, tagChunk)
+		rays := chunk.Data.(int)
+		if rays == 0 {
+			return
+		}
+		r.Compute(time.Duration(rays) * st.cfg.RayCost)
+		st.raysDone[me] += rays
+		r.Send(0, tagRequest, reqBytes)
+	}
+}
+
+func runSlaveMerge(r *mpi.Rank, st *state) {
+	me := r.Rank()
+	nSlaves := r.Size() - 1
+	share := int(st.cfg.MergeBytes / int64(nSlaves-1))
+	reqs := make([]*mpi.Request, 0, 2*(nSlaves-1))
+	for s := 1; s <= nSlaves; s++ {
+		if s != me {
+			reqs = append(reqs, r.Irecv(s, tagMerge))
+		}
+	}
+	for s := 1; s <= nSlaves; s++ {
+		if s != me {
+			reqs = append(reqs, r.Isend(s, tagMerge, share))
+		}
+	}
+	r.WaitAll(reqs...)
+	r.Compute(time.Duration(float64(st.cfg.MergeBytes) / st.cfg.MergeRate * float64(time.Second)))
+}

@@ -1,0 +1,114 @@
+package ray2mesh
+
+import (
+	"testing"
+
+	"repro/internal/grid5000"
+)
+
+func TestRayConservation(t *testing.T) {
+	cfg := Default(grid5000.Rennes).Scaled(0.05)
+	res := Run(cfg)
+	if res.TotalRays != cfg.Rays {
+		t.Fatalf("rays computed = %d, want all %d", res.TotalRays, cfg.Rays)
+	}
+	var sum float64
+	for _, v := range res.RaysPerNode {
+		sum += v * 8
+	}
+	if int(sum+0.5) != cfg.Rays {
+		t.Fatalf("per-cluster accounting sums to %.0f, want %d", sum, cfg.Rays)
+	}
+}
+
+func TestSophiaComputesMostRays(t *testing.T) {
+	res := Run(Default(grid5000.Rennes).Scaled(0.1))
+	s := res.RaysPerNode[grid5000.Sophia]
+	for _, site := range []string{grid5000.Rennes, grid5000.Nancy, grid5000.Toulouse} {
+		if res.RaysPerNode[site] >= s {
+			t.Errorf("%s (%.0f rays/node) ≥ Sophia (%.0f); the fastest cluster must compute most",
+				site, res.RaysPerNode[site], s)
+		}
+	}
+	// Nancy is the slowest cluster.
+	if res.RaysPerNode[grid5000.Nancy] > res.RaysPerNode[grid5000.Rennes] {
+		t.Errorf("Nancy (%.0f) outran Rennes (%.0f)", res.RaysPerNode[grid5000.Nancy], res.RaysPerNode[grid5000.Rennes])
+	}
+}
+
+// TestMasterProximityAdvantage is Table 6's diagonal: each cluster
+// computes at least as many rays when the master is local as when it is
+// remote (end-game chunks go to whoever's request arrives first).
+func TestMasterProximityAdvantage(t *testing.T) {
+	const scale = 0.1
+	results := make(map[string]Result)
+	for _, m := range Sites {
+		results[m] = Run(Default(m).Scaled(scale))
+	}
+	for _, cluster := range Sites {
+		local := results[cluster].RaysPerNode[cluster]
+		for _, m := range Sites {
+			if m == cluster {
+				continue
+			}
+			remote := results[m].RaysPerNode[cluster]
+			// Allow one chunk of slack across the 8-node mean.
+			slack := float64(Default(cluster).ChunkRays) / 8
+			if local+slack < remote {
+				t.Errorf("cluster %s: %.0f rays/node with local master < %.0f with master at %s",
+					cluster, local, remote, m)
+			}
+		}
+	}
+}
+
+// TestComputePhaseIndependentOfMaster is Table 7's first row: compute time
+// barely depends on where the master sits.
+func TestComputePhaseIndependentOfMaster(t *testing.T) {
+	const scale = 0.1
+	var times []float64
+	for _, m := range Sites {
+		times = append(times, Run(Default(m).Scaled(scale)).CompTime.Seconds())
+	}
+	minT, maxT := times[0], times[0]
+	for _, v := range times {
+		if v < minT {
+			minT = v
+		}
+		if v > maxT {
+			maxT = v
+		}
+	}
+	if (maxT-minT)/minT > 0.05 {
+		t.Errorf("compute times spread %.1f%% across master locations (%v); paper shows ≈equal",
+			100*(maxT-minT)/minT, times)
+	}
+}
+
+func TestPhaseTimesPositiveAndOrdered(t *testing.T) {
+	res := Run(Default(grid5000.Nancy).Scaled(0.05))
+	if res.CompTime <= 0 || res.MergeTime <= 0 {
+		t.Fatalf("phases: comp=%v merge=%v", res.CompTime, res.MergeTime)
+	}
+	if res.TotalTime < res.CompTime+res.MergeTime {
+		t.Fatalf("total %v < comp %v + merge %v", res.TotalTime, res.CompTime, res.MergeTime)
+	}
+}
+
+// TestFullScaleMagnitudes checks the Table 7 calibration at full scale:
+// compute ≈185 s, merge ≈165 s, total ≈360 s.
+func TestFullScaleMagnitudes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run")
+	}
+	res := Run(Default(grid5000.Rennes))
+	if c := res.CompTime.Seconds(); c < 165 || c > 210 {
+		t.Errorf("compute phase = %.1f s, want ≈185", c)
+	}
+	if m := res.MergeTime.Seconds(); m < 140 || m > 190 {
+		t.Errorf("merge phase = %.1f s, want ≈165", m)
+	}
+	if tt := res.TotalTime.Seconds(); tt < 320 || tt > 400 {
+		t.Errorf("total = %.1f s, want ≈360", tt)
+	}
+}

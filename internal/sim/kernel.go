@@ -1,0 +1,154 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and an event heap ordered by
+// (time, insertion sequence), so simulations are fully reproducible: two
+// runs with the same inputs schedule and execute events in the same order.
+//
+// On top of the raw event loop, the package offers cooperative processes
+// (Proc): goroutines that run one at a time under kernel control and block
+// in virtual time via Sleep, Signal.Wait, or Queue.Get. This lets higher
+// layers (TCP flows, MPI ranks, applications) be written in ordinary
+// blocking style while remaining deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant in virtual time, measured as an offset from the start
+// of the simulation. It reuses time.Duration for convenient arithmetic and
+// formatting.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by time, breaking ties by insertion sequence so
+// execution order is deterministic.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulator instance. A Kernel and everything
+// scheduled on it must be used from a single OS-level flow of control: the
+// kernel goroutine and its cooperative processes hand off execution
+// explicitly, so no mutexes are needed.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	procs  map[*Proc]struct{}
+	closed bool
+
+	// Executed counts events processed, for diagnostics and tests.
+	Executed uint64
+}
+
+// New creates a kernel with the given RNG seed. The RNG is the only source
+// of randomness in the simulation; a fixed seed yields a fixed trajectory.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Schedule runs fn at virtual time at. Times in the past are clamped to the
+// present: the event runs at Now, after already-queued events for Now.
+func (k *Kernel) Schedule(at Time, fn func()) {
+	if k.closed {
+		return
+	}
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// After runs fn d from now. Negative delays are clamped to zero.
+func (k *Kernel) After(d time.Duration, fn func()) { k.Schedule(k.now+d, fn) }
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.events).(*event)
+	k.now = ev.at
+	k.Executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain (the simulation has quiesced:
+// every process is finished or blocked on a condition nothing will fire).
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t.
+func (k *Kernel) RunUntil(t Time) {
+	for len(k.events) > 0 && k.events[0].at <= t {
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Close aborts every live process so their goroutines exit. It must be
+// called after Run returns (not from inside an event), typically deferred
+// right after New in tests. Close is idempotent.
+func (k *Kernel) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	for p := range k.procs {
+		if !p.done && p.parked {
+			p.abort()
+		}
+	}
+	k.procs = nil
+	k.events = nil
+}
+
+func (k *Kernel) String() string {
+	return fmt.Sprintf("sim.Kernel{now=%v, pending=%d, executed=%d}", k.now, len(k.events), k.Executed)
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	var got []int
+	k.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	k.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	k.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events executed out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	ranAt := Time(-1)
+	k.Schedule(time.Second, func() {
+		k.Schedule(0, func() { ranAt = k.Now() }) // in the "past"
+	})
+	k.Run()
+	if ranAt != time.Second {
+		t.Fatalf("past event ran at %v, want clamp to 1s", ranAt)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	k.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Fatalf("executed %d events, want 5", count)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", k.Now())
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", k.Pending())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	k.RunUntil(7 * time.Second)
+	if k.Now() != 7*time.Second {
+		t.Fatalf("clock = %v, want 7s", k.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		k := New(seed)
+		defer k.Close()
+		var trace []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 4 {
+				return
+			}
+			d := time.Duration(k.Rand().Intn(1000)) * time.Microsecond
+			k.After(d, func() {
+				trace = append(trace, k.Now())
+				spawn(depth + 1)
+				spawn(depth + 1)
+			})
+		}
+		spawn(0)
+		k.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockNeverGoesBackwards(t *testing.T) {
+	f := func(seed int64, delaysMs []uint16) bool {
+		k := New(seed)
+		defer k.Close()
+		prev := Time(0)
+		ok := true
+		for _, d := range delaysMs {
+			k.Schedule(time.Duration(d)*time.Millisecond, func() {
+				if k.Now() < prev {
+					ok = false
+				}
+				prev = k.Now()
+			})
+		}
+		k.Run()
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

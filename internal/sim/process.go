@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// token is passed from the kernel to a process to resume it; abort asks the
+// process to unwind (used by Kernel.Close).
+type token struct{ abort bool }
+
+// errAborted is the sentinel panic value used to unwind aborted processes.
+type abortError struct{}
+
+func (abortError) Error() string { return "sim: process aborted" }
+
+// Proc is a cooperative simulation process. Exactly one process (or the
+// kernel) runs at a time; a process yields control back to the kernel by
+// blocking in virtual time (Sleep, Signal.Wait, Queue.Get). All Proc methods
+// must be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan token
+	yield  chan struct{}
+	done   bool
+	parked bool
+}
+
+// Go spawns fn as a new process. fn starts executing at the current virtual
+// time, after already-scheduled events for this instant.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan token),
+		yield:  make(chan struct{}),
+		parked: true, // blocked awaiting its start event
+	}
+	k.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			p.done = true
+			if r := recover(); r != nil {
+				if _, ok := r.(abortError); ok {
+					// Aborted by Kernel.Close: the closer is waiting on yield.
+					p.yield <- struct{}{}
+					return
+				}
+				// A real panic: surface it on the kernel goroutine by
+				// re-panicking there, then release control.
+				panic(r)
+			}
+			p.yield <- struct{}{}
+		}()
+		if t := <-p.resume; t.abort {
+			panic(abortError{})
+		}
+		fn(p)
+	}()
+	k.Schedule(k.now, func() { k.transfer(p) })
+	return p
+}
+
+// transfer hands control to p and waits for it to park or finish.
+// Called only from the kernel event loop.
+func (k *Kernel) transfer(p *Proc) {
+	if p.done {
+		return
+	}
+	p.parked = false
+	p.resume <- token{}
+	<-p.yield
+	if p.done {
+		delete(k.procs, p)
+	}
+}
+
+// park blocks the process until the kernel resumes it.
+func (p *Proc) park() {
+	p.parked = true
+	p.yield <- struct{}{}
+	if t := <-p.resume; t.abort {
+		panic(abortError{})
+	}
+	p.parked = false
+}
+
+// abort unwinds a parked process. Called only from Kernel.Close.
+func (p *Proc) abort() {
+	p.resume <- token{abort: true}
+	<-p.yield
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep blocks the process for d of virtual time. Non-positive durations
+// still yield, resuming after events already scheduled for this instant.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.Schedule(p.k.now+d, func() { p.k.transfer(p) })
+	p.park()
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+func (p *Proc) String() string { return fmt.Sprintf("sim.Proc(%s)", p.name) }
+
+// Signal is a one-shot broadcast condition: processes Wait on it and are all
+// released (in Wait order) once Fire is called. Waiting on an already-fired
+// signal returns immediately. The zero value is not usable; create signals
+// with NewSignal.
+type Signal struct {
+	k       *Kernel
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired Signal on this kernel.
+func (k *Kernel) NewSignal() *Signal { return &Signal{k: k} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all current and future waiters. It may be called from the
+// kernel loop or from a process; waiters resume via scheduled events at the
+// current virtual time, in the order they began waiting. Fire is idempotent.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		w := w
+		s.k.Schedule(s.k.now, func() { s.k.transfer(w) })
+	}
+	s.waiters = nil
+}
+
+// Wait blocks p until the signal fires. p must be the calling process.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// WaitAll blocks p until every signal in sigs has fired.
+func WaitAll(p *Proc, sigs ...*Signal) {
+	for _, s := range sigs {
+		s.Wait(p)
+	}
+}
+
+// Queue is an unbounded FIFO channel between processes in virtual time.
+// Put never blocks; Get blocks the caller until an item is available.
+// Items are delivered in Put order; blocked getters are served in Get order.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue creates an empty queue on kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] { return &Queue[T]{k: k} }
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes the oldest waiting getter, if any.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.k.Schedule(q.k.now, func() { q.k.transfer(w) })
+	}
+}
+
+// Get removes and returns the oldest item, blocking p while the queue is
+// empty. p must be the calling process.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking; ok reports
+// whether an item was available.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMutexExcludesAndHandsOffFIFO(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	m := k.NewMutex()
+	var order []string
+	hold := func(name string, d time.Duration) {
+		k.Go(name, func(p *Proc) {
+			m.Lock(p)
+			order = append(order, name+"+")
+			p.Sleep(d)
+			order = append(order, name+"-")
+			m.Unlock()
+		})
+	}
+	hold("a", 5*time.Millisecond)
+	hold("b", time.Millisecond)
+	hold("c", time.Millisecond)
+	k.Run()
+	want := []string{"a+", "a-", "b+", "b-", "c+", "c-"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (FIFO, no interleaving)", order, want)
+		}
+	}
+}
+
+func TestMutexUnlockWithoutLockPanics(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unlock of unlocked mutex did not panic")
+		}
+	}()
+	k.NewMutex().Unlock()
+}
+
+func TestMutexLockedReports(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	m := k.NewMutex()
+	if m.Locked() {
+		t.Fatal("fresh mutex locked")
+	}
+	k.Go("l", func(p *Proc) {
+		m.Lock(p)
+		if !m.Locked() {
+			t.Error("Locked() false while held")
+		}
+		m.Unlock()
+	})
+	k.Run()
+	if m.Locked() {
+		t.Fatal("mutex left locked")
+	}
+}

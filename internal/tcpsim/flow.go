@@ -1,0 +1,470 @@
+package tcpsim
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// FlowStats accumulates per-flow counters for diagnostics and tests.
+type FlowStats struct {
+	BytesQueued    int64
+	BytesDelivered int64
+	Rounds         int64
+	BurstLosses    int64
+	ContentionLoss int64
+	Timeouts       int64
+	IdleRestarts   int64
+	PeakCwnd       float64
+}
+
+// Flow is one direction of a TCP connection: a reliable byte stream from
+// path.Src to path.Dst with congestion-window dynamics. Senders enqueue
+// byte counts (message payloads are abstract); the flow reports delivery of
+// stream offsets to registered callbacks in order.
+type Flow struct {
+	k      *sim.Kernel
+	cfg    Config
+	path   *netsim.Path
+	policy BufferPolicy
+
+	windowCap int     // min(send buffer, receive buffer) ceiling
+	eff       float64 // goodput fraction of raw link rate
+
+	cwnd      float64
+	ssthresh  float64
+	wmax      float64 // BIC reference point (last loss window)
+	slowStart bool
+
+	queued       int64 // total bytes ever enqueued
+	sentOff      int64 // bytes handed to the network
+	ackedOff     int64 // bytes acknowledged (freed from the send buffer)
+	deliveredOff int64 // bytes fully received at Dst
+
+	busy       bool // a round is in flight
+	pathActive bool // links acquired
+	lastActive sim.Time
+	stallUntil sim.Time // RTO stall deadline after an incast timeout
+
+	writeMu   *sim.Mutex
+	spaceFree *sim.Signal // fired when send-buffer space frees up
+
+	notifies []notifyEntry
+
+	Stats FlowStats
+}
+
+type notifyEntry struct {
+	off int64
+	fn  func()
+}
+
+// NewFlow opens a one-directional TCP stream over path using stack cfg and
+// socket-buffer policy policy.
+func NewFlow(k *sim.Kernel, path *netsim.Path, cfg Config, policy BufferPolicy) *Flow {
+	f := &Flow{
+		k:         k,
+		cfg:       cfg,
+		path:      path,
+		policy:    policy,
+		windowCap: cfg.WindowCap(policy),
+		eff:       cfg.Efficiency(),
+		cwnd:      float64(cfg.InitCwndSegs * cfg.MSS),
+		ssthresh:  math.MaxFloat64 / 4,
+		slowStart: true,
+		writeMu:   k.NewMutex(),
+	}
+	if f.windowCap < cfg.MSS {
+		f.windowCap = cfg.MSS
+	}
+	// A conservative initial ssthresh only matters on long paths: cluster
+	// BDPs are far below it, so local connections effectively slow-start
+	// straight to their operating window. Paced senders do not suffer the
+	// early ack-train losses the low initial threshold models, so they
+	// keep slow-starting to the pipe capacity — GridMPI's fast ramp.
+	if cfg.InitialSsthresh > 0 && f.isWAN() && !cfg.Pacing {
+		f.ssthresh = float64(cfg.InitialSsthresh)
+	}
+	return f
+}
+
+// bdp returns the path's bandwidth-delay product in bytes.
+func (f *Flow) bdp() float64 {
+	return f.path.Bottleneck() * f.eff * f.rtt().Seconds()
+}
+
+// Path returns the network path the flow runs over.
+func (f *Flow) Path() *netsim.Path { return f.path }
+
+// WindowCap returns the socket-buffer-imposed window ceiling in bytes.
+func (f *Flow) WindowCap() int { return f.windowCap }
+
+// Cwnd returns the current congestion window in bytes.
+func (f *Flow) Cwnd() float64 { return f.cwnd }
+
+// InSlowStart reports whether the flow is in slow start.
+func (f *Flow) InSlowStart() bool { return f.slowStart }
+
+// Delivered returns the stream offset fully received at the destination.
+func (f *Flow) Delivered() int64 { return f.deliveredOff }
+
+// isWAN reports whether this path counts as long-distance for the burst
+// loss model.
+func (f *Flow) isWAN() bool { return f.path.RTT() >= f.cfg.WANThreshold }
+
+// rtt is the effective round-trip time including endpoint software costs.
+func (f *Flow) rtt() time.Duration { return f.path.RTT() + 2*f.cfg.HostOverhead }
+
+// rto is the idle-restart threshold.
+func (f *Flow) rto() time.Duration {
+	r := 2 * f.rtt()
+	if r < f.cfg.MinRTO {
+		r = f.cfg.MinRTO
+	}
+	return r
+}
+
+// Send enqueues n bytes from process p, blocking until the send socket
+// buffer has accepted all of them (the paper's eager-mode completion
+// semantics: MPI_Send returns once the data is copied into the TCP buffer).
+// If delivered is non-nil it runs when the destination has received the
+// last of these n bytes. Concurrent senders are serialized FIFO.
+func (f *Flow) Send(p *sim.Proc, n int64, delivered func()) {
+	if n <= 0 {
+		if delivered != nil {
+			f.notifyAt(f.queued, delivered)
+		}
+		return
+	}
+	f.writeMu.Lock(p)
+	remaining := n
+	for remaining > 0 {
+		// Like write(2): fill whatever buffer space is free, block only
+		// when there is none. Keeping the buffer topped up keeps the
+		// congestion window fully utilizable.
+		free := f.sndbufFree()
+		if free <= 0 {
+			f.spaceFree = f.k.NewSignal()
+			f.spaceFree.Wait(p)
+			continue
+		}
+		chunk := remaining
+		if chunk > free {
+			chunk = free
+		}
+		f.enqueue(chunk, nil)
+		remaining -= chunk
+	}
+	if delivered != nil {
+		f.notifyAt(f.queued, delivered)
+	}
+	f.writeMu.Unlock()
+}
+
+// SendAsync enqueues n bytes without blocking for buffer space; it is meant
+// for small control messages (rendezvous RTS/CTS) issued from event
+// context. delivered, if non-nil, runs when the bytes reach the receiver.
+func (f *Flow) SendAsync(n int64, delivered func()) {
+	if n <= 0 {
+		n = 1
+	}
+	f.enqueue(n, delivered)
+}
+
+// sndbufFree returns the free space in the send socket buffer.
+func (f *Flow) sndbufFree() int64 {
+	return int64(f.windowCap) - (f.queued - f.ackedOff)
+}
+
+// enqueue adds n bytes to the stream and starts the transmit loop.
+func (f *Flow) enqueue(n int64, delivered func()) {
+	f.queued += n
+	f.Stats.BytesQueued += n
+	if delivered != nil {
+		f.notifyAt(f.queued, delivered)
+	}
+	f.pump()
+}
+
+// notifyAt registers fn to run once deliveredOff ≥ off.
+func (f *Flow) notifyAt(off int64, fn func()) {
+	if off <= f.deliveredOff {
+		f.k.Schedule(f.k.Now(), fn)
+		return
+	}
+	// Insert keeping ascending offset order; appends dominate because
+	// stream offsets grow monotonically.
+	i := len(f.notifies)
+	for i > 0 && f.notifies[i-1].off > off {
+		i--
+	}
+	f.notifies = append(f.notifies, notifyEntry{})
+	copy(f.notifies[i+1:], f.notifies[i:])
+	f.notifies[i] = notifyEntry{off: off, fn: fn}
+}
+
+// pump transmits the next congestion-window round if the flow is idle and
+// has pending data.
+func (f *Flow) pump() {
+	if f.busy {
+		return
+	}
+	pending := f.queued - f.sentOff
+	if pending == 0 {
+		if f.pathActive {
+			f.path.Release()
+			f.pathActive = false
+		}
+		return
+	}
+	now := f.k.Now()
+	if now < f.stallUntil {
+		f.k.Schedule(f.stallUntil, f.pump)
+		return
+	}
+	if f.cfg.SlowStartAfterIdle && f.lastActive > 0 && now-f.lastActive > f.rto() {
+		f.idleRestart()
+	}
+	if !f.pathActive {
+		f.path.Acquire()
+		f.pathActive = true
+	}
+	w := int64(f.window())
+	if w > pending {
+		w = pending
+	}
+	if w < int64(f.cfg.MSS) && pending >= int64(f.cfg.MSS) {
+		w = int64(f.cfg.MSS)
+	}
+	rate := f.path.ShareRate() * f.eff
+	serial := time.Duration(float64(w) / rate * float64(time.Second))
+	rtt := f.rtt()
+	// The ack clock only gates the sender in proportion to how much of
+	// the usable window this round consumed: a full window must wait a
+	// whole RTT for acks, while a short round (message tail, sparse
+	// sends) leaves cwnd headroom and transmission stays continuous.
+	// Sustained throughput is thus capped at exactly window/RTT.
+	gate := time.Duration(float64(rtt) * float64(w) / f.window())
+	if gate > rtt {
+		gate = rtt
+	}
+	roundTime := gate
+	rateLimited := serial >= gate
+	if serial > roundTime {
+		roundTime = serial
+	}
+	arrive := f.path.OneWay + 2*f.cfg.HostOverhead + serial
+
+	f.busy = true
+	f.sentOff += w
+	endOff := f.sentOff
+	f.Stats.Rounds++
+	f.k.After(arrive, func() { f.deliver(endOff) })
+	f.k.After(roundTime, func() { f.roundAcked(w, roundTime, rateLimited) })
+}
+
+// window is the usable window this round.
+func (f *Flow) window() float64 {
+	w := f.cwnd
+	if c := float64(f.windowCap); w > c {
+		w = c
+	}
+	if m := float64(f.cfg.MSS); w < m {
+		w = m
+	}
+	return w
+}
+
+// deliver advances the receive offset and fires due callbacks in order.
+func (f *Flow) deliver(endOff int64) {
+	if endOff <= f.deliveredOff {
+		return
+	}
+	f.Stats.BytesDelivered += endOff - f.deliveredOff
+	f.deliveredOff = endOff
+	n := 0
+	for n < len(f.notifies) && f.notifies[n].off <= f.deliveredOff {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	due := f.notifies[:n:n]
+	f.notifies = f.notifies[n:]
+	for _, e := range due {
+		e.fn()
+	}
+}
+
+// roundAcked completes a window round: frees buffer space, grows or shrinks
+// the congestion window, wakes a blocked writer, and continues transmitting.
+func (f *Flow) roundAcked(w int64, roundTime time.Duration, rateLimited bool) {
+	f.ackedOff += w
+	f.lastActive = f.k.Now()
+	f.updateCwnd(w, roundTime, rateLimited)
+	f.busy = false
+	if f.spaceFree != nil && f.sndbufFree() > 0 {
+		// Wake the blocked writer first, then pump: the writer's resume
+		// event is scheduled before the pump event, so it refills the
+		// buffer and the next round sends a full window instead of the
+		// leftover tail.
+		f.spaceFree.Fire()
+		f.spaceFree = nil
+		f.k.Schedule(f.k.Now(), f.pump)
+		return
+	}
+	f.pump()
+}
+
+// updateCwnd applies slow start / congestion avoidance plus the two loss
+// models (slow-start burst overshoot; contention on shared links).
+func (f *Flow) updateCwnd(w int64, roundTime time.Duration, rateLimited bool) {
+	mss := float64(f.cfg.MSS)
+	cap64 := float64(f.windowCap)
+	if f.slowStart {
+		f.cwnd += float64(w)
+		queue := float64(f.cfg.BurstQueue)
+		if f.cfg.Pacing {
+			queue *= f.cfg.PacingBurstFactor
+		}
+		burst := f.bdp() + queue
+		switch {
+		case f.isWAN() && f.cwnd > burst && f.cwnd < cap64:
+			f.burstLoss()
+		case f.cwnd >= f.ssthresh:
+			f.slowStart = false
+			if f.cwnd > f.wmax {
+				f.wmax = f.cwnd
+			}
+		case f.cwnd >= cap64:
+			f.slowStart = false
+			f.wmax = f.cwnd
+		}
+	} else {
+		frac := float64(w) / f.cwnd
+		if frac > 1 {
+			frac = 1
+		}
+		var inc float64
+		if f.cfg.Congestion == "reno" {
+			inc = mss
+		} else {
+			inc = f.bicIncrement(mss)
+		}
+		if f.cfg.Pacing && f.cfg.PacingGrowthFactor > 1 {
+			inc *= f.cfg.PacingGrowthFactor
+		}
+		f.cwnd += inc * frac
+		if rateLimited {
+			f.maybeContentionLoss(roundTime)
+		}
+	}
+	if f.cwnd > cap64 {
+		f.cwnd = cap64
+		f.slowStart = false
+	}
+	if f.cwnd < mss {
+		f.cwnd = mss
+	}
+	if f.cwnd > f.Stats.PeakCwnd {
+		f.Stats.PeakCwnd = f.cwnd
+	}
+}
+
+// bicIncrement returns the per-RTT window increase of BIC: binary search
+// below the last loss point, gentle max-probing above it. The caps are
+// deliberately small: on a clean long path BIC's effective growth is a few
+// segments per RTT, which is what stretches the paper's Figure 9 ramp over
+// seconds.
+func (f *Flow) bicIncrement(mss float64) float64 {
+	const (
+		binaryCapSegs = 4 // effective Smax during binary search
+		probeCapSegs  = 3 // gentle growth while probing past wmax
+	)
+	if f.wmax > 0 && f.cwnd < f.wmax {
+		inc := (f.wmax - f.cwnd) / 2
+		return clamp(inc, mss, binaryCapSegs*mss)
+	}
+	inc := f.cwnd - f.wmax // doubles each RTT while probing
+	return clamp(inc, mss, probeCapSegs*mss)
+}
+
+// burstLoss models an unpaced slow-start burst overflowing the bottleneck
+// queue of a long-distance path: multiplicative back-off and exit to
+// congestion avoidance.
+func (f *Flow) burstLoss() {
+	f.Stats.BurstLosses++
+	f.wmax = f.cwnd
+	f.cwnd *= 0.5
+	f.ssthresh = f.cwnd
+	f.slowStart = false
+}
+
+// maybeContentionLoss applies a probabilistic loss when the path's links
+// are oversubscribed AND this flow actually pushed at its share (callers
+// gate it on rate-limited rounds: a window-limited flow underuses its
+// share and does not overflow queues). Real TCP is exposed to queue
+// overflows once per RTT, so a round spanning several RTTs draws
+// proportionally more risk. On long paths a fraction of losses escalates
+// to retransmission timeouts — the incast collapse that hammers unpaced
+// many-flow patterns like IS's alltoall.
+func (f *Flow) maybeContentionLoss(roundTime time.Duration) {
+	share := f.path.ShareRate()
+	bott := f.path.Bottleneck()
+	if share >= bott {
+		return
+	}
+	over := bott/share - 1
+	if over > 3 {
+		over = 3
+	}
+	draws := float64(roundTime) / float64(f.rtt())
+	if draws < 1 {
+		draws = 1
+	}
+	p := f.cfg.ContentionLossCoef * over * draws
+	if f.cfg.Pacing {
+		p *= f.cfg.PacingLossFactor
+	}
+	if p > 0.75 {
+		p = 0.75
+	}
+	if f.k.Rand().Float64() >= p {
+		return
+	}
+	const rtoShare = 0.3 // fraction of contention losses that become RTOs
+	if f.isWAN() && f.k.Rand().Float64() < rtoShare {
+		f.Stats.Timeouts++
+		f.stallUntil = f.k.Now() + f.cfg.MinRTO
+		f.ssthresh = math.Max(f.cwnd/2, 2*float64(f.cfg.MSS))
+		f.cwnd = float64(f.cfg.InitCwndSegs * f.cfg.MSS)
+		f.slowStart = true
+		return
+	}
+	f.Stats.ContentionLoss++
+	f.wmax = f.cwnd
+	f.cwnd *= 0.7
+	f.ssthresh = f.cwnd
+}
+
+// idleRestart resets the window after an idle period, per
+// tcp_slow_start_after_idle, keeping ssthresh near the previous operating
+// point so the ramp back is quick.
+func (f *Flow) idleRestart() {
+	f.Stats.IdleRestarts++
+	f.ssthresh = math.Max(f.ssthresh, f.cwnd)
+	f.cwnd = float64(f.cfg.InitCwndSegs * f.cfg.MSS)
+	f.slowStart = true
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
