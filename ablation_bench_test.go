@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/grid5000"
 	"repro/internal/mpi"
 	"repro/internal/mpiimpl"
@@ -127,20 +128,25 @@ func BenchmarkAblationBufferSweep(b *testing.B) {
 
 // BenchmarkAblationEagerThreshold isolates the §4.2.2 tuning on MPICH2:
 // 512 kB WAN message latency with the default 256 kB threshold
-// (rendezvous) vs the tuned 65 MB threshold (eager).
+// (rendezvous) vs the tuned 65 MB threshold (eager), as a two-point
+// threshold axis on the experiment engine.
 func BenchmarkAblationEagerThreshold(b *testing.B) {
-	oneWay := func(mpiTuned bool) time.Duration {
-		k, w := core.NewPingPongWorld(mpiimpl.MPICH2, true, mpiTuned, core.Grid)
-		defer k.Close()
-		pts, err := perf.PingPong(w, []int{512 << 10}, 20)
-		if err != nil {
-			b.Fatal(err)
-		}
-		return pts[0].OneWay()
+	sweep := exp.Sweep{
+		Impls:           []string{mpiimpl.MPICH2},
+		Tunings:         []exp.Tuning{{TCP: true}},
+		Topologies:      []exp.Topology{exp.Grid(1)},
+		Workloads:       []exp.Workload{exp.PingPongWorkload([]int{512 << 10}, 20)},
+		EagerThresholds: []int{256 << 10, 65 << 20},
 	}
 	var rndv, eager time.Duration
 	for i := 0; i < b.N; i++ {
-		rndv, eager = oneWay(false), oneWay(true)
+		results := exp.NewRunner(0).RunSweep(sweep)
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatal(r.Err)
+			}
+		}
+		rndv, eager = results[0].Points[0].OneWay(), results[1].Points[0].OneWay()
 	}
 	b.ReportMetric(rndv.Seconds()*1e3, "rndv-512k-ms")
 	b.ReportMetric(eager.Seconds()*1e3, "eager-512k-ms")

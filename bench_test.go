@@ -1,7 +1,10 @@
 // Package repro's benchmarks regenerate every table and figure of the
 // paper under `go test -bench`, reporting each experiment's headline
 // metric so regressions in the reproduction are visible in benchmark
-// output. One benchmark corresponds to one paper artifact.
+// output. One benchmark corresponds to one paper artifact. All paper
+// artifacts are produced through the internal/exp experiment engine
+// (directly or via internal/core's figure constructors), so these also
+// benchmark the engine's scheduling and caching.
 package repro
 
 import (
@@ -9,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/grid5000"
 	"repro/internal/mpiimpl"
 	"repro/internal/perf"
@@ -177,6 +181,53 @@ func BenchmarkTable7RayTimes(b *testing.B) {
 		tab = core.Table7(0.25)
 	}
 	b.ReportMetric(tab.Total[grid5000.Rennes].Seconds(), "total-s")
+}
+
+// BenchmarkSweepPaperMatrix measures the cmd/sweep default: the paper's
+// full 5-implementation × 3-tuning pingpong matrix through the parallel
+// experiment Runner (one worker per CPU).
+func BenchmarkSweepPaperMatrix(b *testing.B) {
+	var results []exp.Result
+	for i := 0; i < b.N; i++ {
+		results = exp.NewRunner(0).RunSweep(exp.PaperMatrix(benchReps))
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(results)), "experiments")
+	b.ReportMetric(results[len(results)-1].MaxMbps(), "openmpi-tuned-max-Mbps")
+}
+
+// BenchmarkSweepSequential is the same matrix on one worker — the
+// baseline the parallel Runner is measured against.
+func BenchmarkSweepSequential(b *testing.B) {
+	var results []exp.Result
+	for i := 0; i < b.N; i++ {
+		results = exp.NewRunner(1).RunSweep(exp.PaperMatrix(benchReps))
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(results)), "experiments")
+}
+
+// BenchmarkSweepCacheHit measures the Runner's fingerprint cache: the
+// matrix re-run through a warm runner costs lookups, not simulations.
+func BenchmarkSweepCacheHit(b *testing.B) {
+	runner := exp.NewRunner(0)
+	exps := exp.PaperMatrix(benchReps).Experiments()
+	runner.RunAll(exps) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := runner.RunAll(exps)
+		if !results[0].Cached {
+			b.Fatal("cache miss on warm runner")
+		}
+	}
 }
 
 // BenchmarkKernelEvents measures the raw event throughput of the

@@ -1,147 +1,129 @@
 // Command gridsim is a general driver for ad-hoc experiments on the
 // simulated grid: pick an implementation, a tuning level, a topology and
 // a communication pattern, and get timing plus the communication census.
+// It is a thin front-end over the internal/exp experiment engine.
 //
 // Examples:
 //
 //	gridsim -impl GridMPI -nodes 8 -grid -pattern alltoall -size 2M -iters 5
 //	gridsim -impl MPICH2 -nodes 4 -pattern ring -size 64k -tcp-tuned=false
-//	gridsim -impl MPICH-G2 -nodes 2 -grid -pattern pingpong -size 64M
+//	gridsim -impl MPICH-G2 -nodes 2 -grid -pattern pingpong -size 64M -json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
+	"repro/internal/exp"
 	"repro/internal/grid5000"
-	"repro/internal/mpi"
 	"repro/internal/mpiimpl"
-	"repro/internal/netsim"
-	"repro/internal/sim"
 )
 
-func parseSize(s string) (int, error) {
-	s = strings.TrimSpace(strings.ToLower(s))
-	mult := 1
-	switch {
-	case strings.HasSuffix(s, "m"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "m")
-	case strings.HasSuffix(s, "k"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "k")
-	}
-	n, err := strconv.Atoi(s)
-	return n * mult, err
-}
-
 func main() {
-	impl := flag.String("impl", mpiimpl.GridMPI, "implementation: MPICH2, GridMPI, MPICH-Madeleine, OpenMPI, MPICH-G2, TCP")
-	nodes := flag.Int("nodes", 4, "nodes per site")
-	grid := flag.Bool("grid", true, "span Rennes and Nancy (otherwise one cluster)")
-	pattern := flag.String("pattern", "alltoall", "pattern: pingpong, ring, alltoall, bcast, allreduce, barrier")
-	sizeStr := flag.String("size", "1M", "message size (supports k/M suffixes)")
-	iters := flag.Int("iters", 10, "pattern repetitions")
-	tcpTuned := flag.Bool("tcp-tuned", true, "apply the paper's §4.2.1 TCP tuning")
-	mpiTuned := flag.Bool("mpi-tuned", true, "apply the paper's §4.2.2 threshold tuning")
-	flag.Parse()
-
-	size, err := parseSize(*sizeStr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bad -size:", err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		// Usage mistakes exit 2; failures of the simulation itself exit 1
+		// (the historical distinction scripts rely on).
+		if errors.Is(err, errRunFailed) {
+			os.Exit(1)
+		}
 		os.Exit(2)
-	}
-
-	prof, tcp := mpiimpl.Configure(*impl, *tcpTuned, *mpiTuned)
-	k := sim.New(1)
-	defer k.Close()
-	var net *netsim.Network
-	var hosts []*netsim.Host
-	if *grid {
-		net = grid5000.Build(*nodes, grid5000.Rennes, grid5000.Nancy)
-		hosts = append(hosts, net.SiteHosts(grid5000.Rennes)...)
-		hosts = append(hosts, net.SiteHosts(grid5000.Nancy)...)
-	} else {
-		net = grid5000.Build(*nodes, grid5000.Rennes)
-		hosts = net.SiteHosts(grid5000.Rennes)
-	}
-	w := mpi.NewWorld(k, net, tcp, prof, hosts)
-
-	body, err := patternBody(*pattern, size, *iters)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	elapsed, err := w.Run(body)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "run failed:", err)
-		os.Exit(1)
-	}
-
-	fmt.Printf("%s, %d ranks (%s), pattern=%s size=%d iters=%d\n",
-		*impl, len(hosts), map[bool]string{true: "8.7-19.9 ms WAN", false: "one cluster"}[*grid],
-		*pattern, size, *iters)
-	fmt.Printf("elapsed (virtual): %v\n", elapsed)
-	s := w.Stats()
-	fmt.Printf("census: %d p2p messages (%d bytes, %d across the WAN), rendezvous %d, unexpected %d\n",
-		s.P2PSends, s.P2PBytes, s.WANSends, s.Rendezvous, s.Unexpected)
-	for _, op := range s.CollOps() {
-		fmt.Printf("  collective %-12s x %d\n", op, s.CollCalls(op))
 	}
 }
 
-// patternBody builds the SPMD body for a named pattern.
-func patternBody(pattern string, size, iters int) (func(*mpi.Rank), error) {
-	switch pattern {
-	case "pingpong":
-		return func(r *mpi.Rank) {
-			peer := r.Size() - 1
-			for i := 0; i < iters; i++ {
-				switch r.Rank() {
-				case 0:
-					r.Send(peer, i, size)
-					r.Recv(peer, i)
-				case peer:
-					r.Recv(0, i)
-					r.Send(0, i, size)
-				}
-			}
-		}, nil
-	case "ring":
-		return func(r *mpi.Rank) {
-			right := (r.Rank() + 1) % r.Size()
-			left := (r.Rank() - 1 + r.Size()) % r.Size()
-			for i := 0; i < iters; i++ {
-				req := r.Isend(right, i, size)
-				r.Recv(left, i)
-				r.Wait(req)
-			}
-		}, nil
-	case "alltoall":
-		return func(r *mpi.Rank) {
-			for i := 0; i < iters; i++ {
-				r.Alltoall(size)
-			}
-		}, nil
-	case "bcast":
-		return func(r *mpi.Rank) {
-			for i := 0; i < iters; i++ {
-				r.Bcast(0, size)
-			}
-		}, nil
-	case "allreduce":
-		return func(r *mpi.Rank) {
-			for i := 0; i < iters; i++ {
-				r.Allreduce(size)
-			}
-		}, nil
-	case "barrier":
-		return func(r *mpi.Rank) {
-			for i := 0; i < iters; i++ {
-				r.Barrier()
-			}
-		}, nil
+// errFlagParse marks a parse failure the FlagSet has already reported on
+// stderr; main must not print it a second time.
+var errFlagParse = errors.New("flag parsing failed")
+
+// errRunFailed marks a failure of the simulation run, as opposed to a
+// bad invocation.
+var errRunFailed = errors.New("run failed")
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	impl := fs.String("impl", mpiimpl.GridMPI, "implementation: MPICH2, GridMPI, MPICH-Madeleine, OpenMPI, MPICH-G2, TCP")
+	nodes := fs.Int("nodes", 4, "nodes per site")
+	grid := fs.Bool("grid", true, "span Rennes and Nancy (otherwise one cluster)")
+	pattern := fs.String("pattern", "alltoall", "pattern: pingpong, ring, alltoall, bcast, allreduce, barrier")
+	sizeStr := fs.String("size", "1M", "message size (supports k/M/G suffixes)")
+	iters := fs.Int("iters", 10, "pattern repetitions")
+	tcpTuned := fs.Bool("tcp-tuned", true, "apply the paper's §4.2.1 TCP tuning")
+	mpiTuned := fs.Bool("mpi-tuned", true, "apply the paper's §4.2.2 threshold tuning")
+	budget := fs.Duration("timeout", 0, "virtual-time budget; past it the run reports DNF (0 = unlimited)")
+	asJSON := fs.Bool("json", false, "emit the full experiment result as JSON")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse // already reported by the FlagSet
 	}
-	return nil, fmt.Errorf("unknown pattern %q", pattern)
+
+	size, err := exp.ParseSize(*sizeStr)
+	if err != nil {
+		return fmt.Errorf("bad -size: %w", err)
+	}
+	if err := exp.CheckImpl(*impl); err != nil {
+		return err
+	}
+	if *nodes < 1 {
+		return fmt.Errorf("-nodes must be ≥ 1, got %d", *nodes)
+	}
+	if err := exp.CheckPattern(*pattern); err != nil {
+		return err
+	}
+
+	topo := exp.Topology{Sites: []string{grid5000.Rennes}, NodesPerSite: *nodes}
+	if *grid {
+		topo.Sites = append(topo.Sites, grid5000.Nancy)
+	}
+	wl := exp.PatternWorkload(*pattern, size, *iters)
+	wl.Timeout = *budget
+	if *budget == 0 {
+		wl.Timeout = -1 // gridsim's historical behavior: no budget
+	}
+	e := exp.Experiment{
+		Impl:     *impl,
+		Tuning:   exp.Tuning{TCP: *tcpTuned, MPI: *mpiTuned},
+		Topology: topo,
+		Workload: wl,
+	}
+	res := exp.Run(e)
+	if res.Err != "" {
+		return fmt.Errorf("%w: %s", errRunFailed, res.Err)
+	}
+
+	if *asJSON {
+		if err := exp.WriteJSON(out, []exp.Result{res}); err != nil {
+			return err
+		}
+		if res.DNF {
+			return fmt.Errorf("%w: DNF, budget %v exceeded", errRunFailed, *budget)
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "%s, %d ranks (%s), pattern=%s size=%d iters=%d\n",
+		*impl, topo.NP(), map[bool]string{true: "8.7-19.9 ms WAN", false: "one cluster"}[*grid],
+		*pattern, size, *iters)
+	if res.DNF {
+		fmt.Fprintf(out, "DNF: run exceeded its virtual-time budget\n")
+	}
+	fmt.Fprintf(out, "elapsed (virtual): %v\n", res.Elapsed)
+	c := res.Census
+	fmt.Fprintf(out, "census: %d p2p messages (%d bytes, %d across the WAN), rendezvous %d, unexpected %d\n",
+		c.P2PSends, c.P2PBytes, c.WANSends, c.Rendezvous, c.Unexpected)
+	for _, coll := range c.Collectives {
+		fmt.Fprintf(out, "  collective %-12s x %d\n", coll.Op, coll.Calls)
+	}
+	if res.DNF {
+		// An unfinished run is not a successful measurement: exit 1 so
+		// scripts don't mistake the truncated census for a result.
+		return fmt.Errorf("%w: DNF, budget %v exceeded", errRunFailed, *budget)
+	}
+	return nil
 }

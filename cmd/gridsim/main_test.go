@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives one tiny end-to-end experiment through the CLI
+// entrypoint and checks the human-readable report.
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-impl", "GridMPI", "-nodes", "2", "-grid",
+		"-pattern", "ring", "-size", "64k", "-iters", "2",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"GridMPI, 4 ranks", "pattern=ring size=65536 iters=2", "elapsed (virtual):", "census:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunJSON checks the machine-readable path.
+func TestRunJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-impl", "MPICH2", "-nodes", "2", "-grid=false",
+		"-pattern", "barrier", "-size", "1k", "-iters", "1", "-json"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{`"impl": "MPICH2"`, `"kind": "pattern"`, `"census"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunBadFlags covers the error paths: invalid size and unknown
+// pattern.
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-size", "12q"}, &out, &errOut); err == nil {
+		t.Error("bad -size accepted")
+	}
+	if err := run([]string{"-pattern", "nope", "-nodes", "1"}, &out, &errOut); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if err := run([]string{"-impl", "LAM/MPI"}, &out, &errOut); err == nil {
+		t.Error("unknown implementation accepted")
+	}
+}

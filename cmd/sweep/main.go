@@ -1,0 +1,253 @@
+// Command sweep expands and runs declarative experiment sweeps on the
+// internal/exp engine: cross-products of implementation × tuning ×
+// topology × workload execute across a bounded worker pool, with results
+// rendered as an implementation × configuration matrix, CSV, or JSON.
+//
+// The default invocation reproduces the paper's full implementation ×
+// tuning pingpong matrix (Figures 3, 6 and 7 in one command):
+//
+//	sweep
+//	sweep -reps 200 -workers 8
+//	sweep -workload npb:all -topo grid -nodes 8 -scale 0.1
+//	sweep -workload pattern:alltoall -size 1M -iters 5 -format csv
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/mpiimpl"
+	"repro/internal/npb"
+	"repro/internal/perf"
+	"repro/internal/ray2mesh"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+}
+
+// errFlagParse marks a parse failure the FlagSet has already reported on
+// stderr; main must not print it a second time.
+var errFlagParse = errors.New("flag parsing failed")
+
+func parseImpls(s string) ([]string, error) {
+	switch s {
+	case "all":
+		return mpiimpl.WithTCP, nil
+	case "mpi":
+		return mpiimpl.All, nil
+	}
+	var impls []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := exp.CheckImpl(name); err != nil {
+			return nil, err
+		}
+		impls = append(impls, name)
+	}
+	if len(impls) == 0 {
+		return nil, fmt.Errorf("empty -impls")
+	}
+	return impls, nil
+}
+
+func parseTunings(s string) ([]exp.Tuning, error) {
+	var tunings []exp.Tuning
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(tok) {
+		case "default":
+			tunings = append(tunings, exp.Tuning{})
+		case "tcp":
+			tunings = append(tunings, exp.Tuning{TCP: true})
+		case "full":
+			tunings = append(tunings, exp.Tuning{TCP: true, MPI: true})
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown tuning %q (want default, tcp, full)", tok)
+		}
+	}
+	if len(tunings) == 0 {
+		return nil, fmt.Errorf("empty -tunings")
+	}
+	return tunings, nil
+}
+
+func parseTopos(s string, nodes int) ([]exp.Topology, error) {
+	var topos []exp.Topology
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(tok) {
+		case "grid":
+			topos = append(topos, exp.Grid(nodes))
+		case "cluster":
+			topos = append(topos, exp.Cluster(2*nodes))
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown topology %q (want grid, cluster)", tok)
+		}
+	}
+	if len(topos) == 0 {
+		return nil, fmt.Errorf("empty -topo")
+	}
+	return topos, nil
+}
+
+func parseWorkloads(s string, sizes []int, reps, size, iters int, scale float64) ([]exp.Workload, error) {
+	kind, arg, _ := strings.Cut(s, ":")
+	switch kind {
+	case "pingpong":
+		return []exp.Workload{exp.PingPongWorkload(sizes, reps)}, nil
+	case "trace":
+		return []exp.Workload{exp.TraceWorkload(size, reps)}, nil
+	case "npb":
+		benches := npb.Names
+		if arg != "" && arg != "all" {
+			benches = strings.Split(arg, ",")
+		}
+		var wls []exp.Workload
+		for _, b := range benches {
+			b = strings.TrimSpace(b)
+			if err := exp.CheckBench(b); err != nil {
+				return nil, err
+			}
+			wls = append(wls, exp.NPBWorkload(b, scale))
+		}
+		return wls, nil
+	case "pattern":
+		if arg == "" {
+			return nil, fmt.Errorf("-workload pattern needs a name, e.g. pattern:alltoall")
+		}
+		if err := exp.CheckPattern(arg); err != nil {
+			return nil, err
+		}
+		return []exp.Workload{exp.PatternWorkload(arg, size, iters)}, nil
+	case "ray2mesh":
+		masters := ray2mesh.Sites
+		if arg != "" && arg != "all" {
+			masters = strings.Split(arg, ",")
+		}
+		var wls []exp.Workload
+		for _, m := range masters {
+			m = strings.TrimSpace(m)
+			if err := exp.CheckSite(m); err != nil {
+				return nil, err
+			}
+			wls = append(wls, exp.Ray2MeshWorkload(m, scale))
+		}
+		return wls, nil
+	}
+	return nil, fmt.Errorf("unknown -workload %q", s)
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	implsStr := fs.String("impls", "all", `implementations: "all" (TCP + the four MPI), "mpi" (the four), or a comma list`)
+	tuningsStr := fs.String("tunings", "default,tcp,full", "tuning levels to cross (default, tcp, full)")
+	topoStr := fs.String("topo", "grid", "topologies to cross (grid, cluster)")
+	nodes := fs.Int("nodes", 1, "nodes per site (grid) / half the cluster size")
+	workloadStr := fs.String("workload", "pingpong", "workload: pingpong, trace, npb[:BENCH|:all], pattern:NAME, ray2mesh[:SITE|:all]")
+	reps := fs.Int("reps", 50, "pingpong round trips per size / trace message count")
+	sizeStr := fs.String("size", "1M", "message size for pattern/trace workloads (k/M/G suffixes)")
+	iters := fs.Int("iters", 10, "pattern repetitions")
+	scale := fs.Float64("scale", 0.1, "NPB / ray2mesh workload scale (1.0 = the paper's full size)")
+	maxSizeStr := fs.String("max-size", "64M", "largest pingpong message size")
+	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	format := fs.String("format", "table", "output: table, csv, json")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse // already reported by the FlagSet
+	}
+
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+	if *nodes < 1 {
+		return fmt.Errorf("-nodes must be ≥ 1, got %d", *nodes)
+	}
+	size, err := exp.ParseSize(*sizeStr)
+	if err != nil {
+		return fmt.Errorf("bad -size: %w", err)
+	}
+	maxSize, err := exp.ParseSize(*maxSizeStr)
+	if err != nil {
+		return fmt.Errorf("bad -max-size: %w", err)
+	}
+	impls, err := parseImpls(*implsStr)
+	if err != nil {
+		return err
+	}
+	tunings, err := parseTunings(*tuningsStr)
+	if err != nil {
+		return err
+	}
+	topos, err := parseTopos(*topoStr, *nodes)
+	if err != nil {
+		return err
+	}
+	sizes := perf.PowersOfTwoSizes(1<<10, maxSize)
+	workloads, err := parseWorkloads(*workloadStr, sizes, *reps, size, *iters, *scale)
+	if err != nil {
+		return err
+	}
+
+	// ray2mesh always runs on its fixed four-site testbed: collapse the
+	// topology axis to the canonical description so the matrix labels and
+	// cache fingerprints reflect the run that actually happens.
+	if strings.HasPrefix(*workloadStr, "ray2mesh") {
+		topos = []exp.Topology{exp.Ray2MeshTopology()}
+	}
+	sweep := exp.Sweep{Impls: impls, Tunings: tunings, Topologies: topos, Workloads: workloads}
+	runner := exp.NewRunner(*workers)
+	start := time.Now()
+	results := runner.RunSweep(sweep)
+	wall := time.Since(start)
+
+	switch *format {
+	case "json":
+		if err := exp.WriteJSON(out, results); err != nil {
+			return err
+		}
+	case "csv":
+		if err := exp.WriteCSV(out, results); err != nil {
+			return err
+		}
+	default:
+		title := fmt.Sprintf("Sweep: %d experiments (%s workload)", len(results), *workloadStr)
+		fmt.Fprintln(out, exp.MatrixTable(title, results))
+		fmt.Fprintf(out, "%d experiments, %d workers, wall time %v\n",
+			len(results), runner.Workers(), wall.Round(time.Millisecond))
+	}
+	// Failed cells render as ERR/err fields above; surface the reason and
+	// exit nonzero so scripts don't take a broken sweep as a measurement.
+	var failed []exp.Result
+	for _, r := range results {
+		if r.Err != "" {
+			failed = append(failed, r)
+		}
+	}
+	if len(failed) > 0 {
+		for _, r := range failed {
+			fmt.Fprintf(errOut, "failed: %s: %s\n", r.Exp.Name(), r.Err)
+		}
+		return fmt.Errorf("%d of %d experiments failed", len(failed), len(results))
+	}
+	return nil
+}

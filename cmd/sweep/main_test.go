@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// tinyArgs is a fast two-implementation, two-tuning pingpong matrix.
+var tinyArgs = []string{
+	"-impls", "TCP,GridMPI", "-tunings", "default,tcp",
+	"-reps", "3", "-max-size", "64k", "-workers", "4",
+}
+
+// TestRunSmokeTable: flag parsing plus one tiny end-to-end parallel sweep
+// rendered as a matrix.
+func TestRunSmokeTable(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(tinyArgs, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"impl", "TCP", "GridMPI", "default", "tcp-tuned", "4 experiments, 4 workers"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunJSONDeterministic: the JSON output of a parallel sweep is stable
+// across runs and identical to a sequential one.
+func TestRunJSONDeterministic(t *testing.T) {
+	render := func(workers string) string {
+		var out, errOut strings.Builder
+		args := append([]string{"-format", "json", "-workers", workers}, tinyArgs[:len(tinyArgs)-2]...)
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	seq := render("1")
+	par := render("8")
+	if seq != par {
+		t.Fatal("sequential and parallel sweep JSON differ")
+	}
+	var results []exp.Result
+	if err := json.Unmarshal([]byte(seq), &results); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+}
+
+// TestRunCSV covers the CSV output path.
+func TestRunCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	args := append([]string{"-format", "csv"}, tinyArgs...)
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d, want header + 4 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "fingerprint,impl,tuning") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+// TestRunPaperMatrixShape: the default invocation covers the full
+// implementation × tuning matrix of the paper (5 × 3), just at reduced
+// sampling for test speed.
+func TestRunPaperMatrixShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 15-experiment matrix in -short mode")
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{"-reps", "3", "-max-size", "1M"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, impl := range []string{"TCP", "MPICH2", "GridMPI", "MPICH-Madeleine", "OpenMPI"} {
+		if !strings.Contains(got, impl) {
+			t.Errorf("matrix missing implementation %q", impl)
+		}
+	}
+	for _, col := range []string{"default", "tcp-tuned", "fully-tuned"} {
+		if !strings.Contains(got, col) {
+			t.Errorf("matrix missing tuning column %q", col)
+		}
+	}
+	if !strings.Contains(got, "15 experiments") {
+		t.Errorf("expected 15 experiments:\n%s", got)
+	}
+}
+
+// TestRunBadFlags covers rejection paths.
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	for _, args := range [][]string{
+		{"-workload", "nope"},
+		{"-tunings", "bogus"},
+		{"-topo", "mesh"},
+		{"-impls", "LAM/MPI"},
+		{"-format", "xml", "-impls", "TCP", "-tunings", "default", "-reps", "1", "-max-size", "1k"},
+	} {
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Command thresholds regenerates Table 5: the swept ideal
 // eager/rendezvous threshold per implementation on the cluster and on the
-// grid.
+// grid. The 2×2×5-cell sweep runs through the internal/exp engine's
+// worker pool, so the candidates are measured in parallel.
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 
 func main() {
 	reps := flag.Int("reps", 20, "round trips per size during the sweep")
+	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	flag.Parse()
-	fmt.Println(core.RenderTable5(core.Table5(*reps)))
+	fmt.Println(core.RenderTable5(core.Table5Workers(*reps, *workers)))
 }

@@ -16,6 +16,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/grid5000"
 	"repro/internal/mpi"
 	"repro/internal/mpiimpl"
@@ -39,6 +40,16 @@ func (p Placement) String() string {
 		return "cluster"
 	}
 	return "grid"
+}
+
+// Topology maps a placement onto the experiment engine's testbed
+// description: both pingpong processes in Rennes, or one in Rennes and
+// one in Nancy (Figure 2).
+func (p Placement) Topology() exp.Topology {
+	if p == Cluster {
+		return exp.Cluster(2)
+	}
+	return exp.Grid(1)
 }
 
 // NewPingPongWorld builds a fresh kernel and 2-rank world for one
@@ -91,22 +102,26 @@ func (f Figure) At(label string, size int) float64 {
 	return -1
 }
 
-// DefaultSizes is the figures' size grid: 1 kB to 64 MB in powers of two.
-func DefaultSizes() []int { return perf.PowersOfTwoSizes(1<<10, 64<<20) }
+// DefaultSizes is the figures' size grid: 1 kB to 64 MB in powers of two
+// (the engine's PaperSizes).
+func DefaultSizes() []int { return exp.PaperSizes() }
 
 // DefaultReps matches the paper's 200 round trips per size.
 const DefaultReps = 200
 
 func pingpongFigure(name, title string, placement Placement, tcpTuned, mpiTuned bool, sizes []int, reps int) Figure {
+	sweep := exp.Sweep{
+		Impls:      mpiimpl.WithTCP,
+		Tunings:    []exp.Tuning{{TCP: tcpTuned, MPI: mpiTuned}},
+		Topologies: []exp.Topology{placement.Topology()},
+		Workloads:  []exp.Workload{exp.PingPongWorkload(sizes, reps)},
+	}
 	fig := Figure{Name: name, Title: title}
-	for _, impl := range mpiimpl.WithTCP {
-		k, w := NewPingPongWorld(impl, tcpTuned, mpiTuned, placement)
-		pts, err := perf.PingPong(w, sizes, reps)
-		k.Close()
-		if err != nil {
-			panic("core: " + name + "/" + impl + ": " + err.Error())
+	for _, res := range exp.NewRunner(0).RunSweep(sweep) {
+		if res.Err != "" {
+			panic("core: " + name + "/" + res.Exp.Impl + ": " + res.Err)
 		}
-		fig.Series = append(fig.Series, Series{Label: impl, Points: pts})
+		fig.Series = append(fig.Series, Series{Label: res.Exp.Impl, Points: res.Points})
 	}
 	return fig
 }
@@ -154,22 +169,27 @@ type LatencyRow struct {
 	OverGrid      time.Duration
 }
 
-// Table4 measures the latency comparison of Table 4.
+// Table4 measures the latency comparison of Table 4. The ten
+// (implementation, placement) cells run as one parallel sweep.
 func Table4(reps int) []LatencyRow {
-	measure := func(impl string, placement Placement) time.Duration {
-		k, w := NewPingPongWorld(impl, false, false, placement)
-		defer k.Close()
-		lat, err := perf.Latency1Byte(w, reps)
-		if err != nil {
-			panic("core: table4: " + err.Error())
+	sweep := exp.Sweep{
+		Impls:      mpiimpl.WithTCP,
+		Tunings:    []exp.Tuning{{}},
+		Topologies: []exp.Topology{Cluster.Topology(), Grid.Topology()},
+		Workloads:  []exp.Workload{exp.PingPongWorkload([]int{1}, reps)},
+	}
+	results := exp.NewRunner(0).RunSweep(sweep)
+	oneWay := func(i int) time.Duration {
+		res := results[i]
+		if res.Err != "" {
+			panic("core: table4: " + res.Err)
 		}
-		return lat
+		return res.Points[0].OneWay()
 	}
 	var rows []LatencyRow
 	var tcpCluster, tcpGrid time.Duration
-	for _, impl := range mpiimpl.WithTCP {
-		c := measure(impl, Cluster)
-		g := measure(impl, Grid)
+	for i, impl := range mpiimpl.WithTCP {
+		c, g := oneWay(2*i), oneWay(2*i+1)
 		if impl == mpiimpl.RawTCP {
 			tcpCluster, tcpGrid = c, g
 		}
@@ -195,15 +215,18 @@ type Trace struct {
 // fully tuned grid (the study follows the §4.2 tuning), per-message
 // bandwidth against time, for raw TCP and the four implementations.
 func Figure9(count int) []Trace {
+	sweep := exp.Sweep{
+		Impls:      mpiimpl.WithTCP,
+		Tunings:    []exp.Tuning{{TCP: true, MPI: true}},
+		Topologies: []exp.Topology{Grid.Topology()},
+		Workloads:  []exp.Workload{exp.TraceWorkload(1<<20, count)},
+	}
 	var traces []Trace
-	for _, impl := range mpiimpl.WithTCP {
-		k, w := NewPingPongWorld(impl, true, true, Grid)
-		pts, err := perf.BandwidthTrace(w, 1<<20, count)
-		k.Close()
-		if err != nil {
-			panic("core: figure9/" + impl + ": " + err.Error())
+	for _, res := range exp.NewRunner(0).RunSweep(sweep) {
+		if res.Err != "" {
+			panic("core: figure9/" + res.Exp.Impl + ": " + res.Err)
 		}
-		traces = append(traces, Trace{Label: impl, Points: pts})
+		traces = append(traces, Trace{Label: res.Exp.Impl, Points: res.Trace})
 	}
 	return traces
 }
@@ -225,8 +248,62 @@ var thresholdCandidates = []int{128 << 10, 1 << 20, 8 << 20, 32 << 20, 65 << 20}
 // messages up to 64 MB (receives pre-posted, as the paper's note says).
 // OpenMPI's btl_tcp_eager_limit is capped at 32 MB, so its sweep stops
 // there.
-func Table5(reps int) []ThresholdRow {
+func Table5(reps int) []ThresholdRow { return Table5Workers(reps, 0) }
+
+// Table5Workers is Table5 with an explicit worker-pool size for the
+// underlying threshold sweep (0 = one worker per CPU). The selection is
+// independent of the worker count.
+func Table5Workers(reps, workers int) []ThresholdRow {
 	sweepSizes := []int{256 << 10, 1 << 20, 8 << 20, 48 << 20}
+	runner := exp.NewRunner(workers)
+
+	// Expand every (impl, placement, candidate) cell into one experiment.
+	var exps []exp.Experiment
+	for _, impl := range mpiimpl.All {
+		if mpiimpl.Profile(impl).EagerThreshold == mpi.Infinite {
+			continue
+		}
+		for _, placement := range []Placement{Cluster, Grid} {
+			for _, thr := range thresholdCandidates {
+				if impl == mpiimpl.OpenMPI && thr > 32<<20 {
+					continue
+				}
+				exps = append(exps, exp.Experiment{
+					Impl:           impl,
+					Tuning:         exp.Tuning{TCP: true},
+					Topology:       placement.Topology(),
+					Workload:       exp.PingPongWorkload(sweepSizes, reps),
+					EagerThreshold: thr,
+				})
+			}
+		}
+	}
+	results := runner.RunAll(exps)
+
+	// Pick the best threshold per (impl, placement): minimum total
+	// pingpong time, ties to the larger threshold — rendezvous never beats
+	// eager here, so the ideal is the largest value available. Candidates
+	// expand in ascending order, making <= the tie-break.
+	type cell struct {
+		impl      string
+		placement string
+	}
+	bestThr := make(map[cell]int)
+	bestTime := make(map[cell]time.Duration)
+	for _, res := range results {
+		if res.Err != "" {
+			panic("core: table5: " + res.Err)
+		}
+		var total time.Duration
+		for _, p := range res.Points {
+			total += p.MinRTT
+		}
+		c := cell{res.Exp.Impl, res.Exp.Topology.String()}
+		if bestTime[c] == 0 || total <= bestTime[c] {
+			bestTime[c], bestThr[c] = total, res.Exp.EagerThreshold
+		}
+	}
+
 	rows := make([]ThresholdRow, 0, 4)
 	for _, impl := range mpiimpl.All {
 		base := mpiimpl.Profile(impl)
@@ -234,36 +311,11 @@ func Table5(reps int) []ThresholdRow {
 			rows = append(rows, ThresholdRow{Impl: impl, Original: "inf", Cluster: "-", Grid: "-"})
 			continue
 		}
-		best := func(placement Placement) int {
-			bestThr, bestTime := 0, time.Duration(0)
-			for _, thr := range thresholdCandidates {
-				if impl == mpiimpl.OpenMPI && thr > 32<<20 {
-					continue
-				}
-				k, w := NewPingPongWorld(impl, true, false, placement)
-				w.Prof = w.Prof.WithEagerThreshold(thr)
-				pts, err := perf.PingPong(w, sweepSizes, reps)
-				k.Close()
-				if err != nil {
-					panic("core: table5: " + err.Error())
-				}
-				var total time.Duration
-				for _, p := range pts {
-					total += p.MinRTT
-				}
-				// Ties go to the larger threshold: rendezvous never beats
-				// eager here, so the ideal is the largest value available.
-				if bestTime == 0 || total <= bestTime {
-					bestTime, bestThr = total, thr
-				}
-			}
-			return bestThr
-		}
 		rows = append(rows, ThresholdRow{
 			Impl:     impl,
 			Original: formatSize(base.EagerThreshold),
-			Cluster:  formatSize(best(Cluster)),
-			Grid:     formatSize(best(Grid)),
+			Cluster:  formatSize(bestThr[cell{impl, Cluster.Topology().String()}]),
+			Grid:     formatSize(bestThr[cell{impl, Grid.Topology().String()}]),
 		})
 	}
 	return rows

@@ -8,14 +8,27 @@ import (
 )
 
 // nasScale keeps the NAS figure tests fast while leaving enough
-// iterations for TCP windows to open.
-const nasScale = 0.1
+// iterations for TCP windows to open. Short mode halves the workload
+// again: the qualitative shapes (orderings, DNFs, ratios) survive, and
+// `go test -short ./...` stays in the seconds while full runs keep the
+// calibrated fidelity.
+func nasScale(t *testing.T) float64 {
+	t.Helper()
+	if testing.Short() {
+		// 0.06 is the smallest scale that keeps ≥2 iterations for every
+		// kernel (one MG iteration overweights the TCP ramp and drops its
+		// Figure 13 speedup below 1).
+		return 0.06
+	}
+	return 0.1
+}
 
 // TestFigure10Shape asserts the paper's qualitative Figure 10: GridMPI is
 // the best overall implementation on the grid, with its largest advantage
 // on the collective benchmarks, and MPICH-Madeleine DNFs on BT and SP.
 func TestFigure10Shape(t *testing.T) {
-	fig := Figure10(nasScale)
+	t.Parallel()
+	fig := Figure10(nasScale(t))
 	// Madeleine's DNFs.
 	for _, bench := range []string{"BT", "SP"} {
 		if _, dnf := fig.At(bench, mpiimpl.Madeleine); !dnf {
@@ -53,7 +66,8 @@ func TestFigure10Shape(t *testing.T) {
 // TestFigure11Shape: on 2+2 nodes the same orderings hold, with smaller
 // margins.
 func TestFigure11Shape(t *testing.T) {
-	fig := Figure11(nasScale)
+	t.Parallel()
+	fig := Figure11(nasScale(t))
 	if ft, dnf := fig.At("FT", mpiimpl.GridMPI); dnf || ft < 1.1 {
 		t.Errorf("GridMPI FT on 2+2 = %.2f (dnf=%v), want ≥1.1", ft, dnf)
 	}
@@ -67,7 +81,8 @@ func TestFigure11Shape(t *testing.T) {
 // TestFigure12Shape asserts the grid-overhead story: EP ≈ 1; the big
 // point-to-point codes tolerate the WAN; CG, MG and IS suffer most.
 func TestFigure12Shape(t *testing.T) {
-	fig := Figure12(nasScale)
+	t.Parallel()
+	fig := Figure12(nasScale(t))
 	g := func(bench string) float64 {
 		v, dnf := fig.At(bench, mpiimpl.GridMPI)
 		if dnf {
@@ -102,7 +117,8 @@ func TestFigure12Shape(t *testing.T) {
 // every benchmark (the paper's conclusion), near 4 for LU/BT/EP and modest
 // for the latency-bound codes.
 func TestFigure13Shape(t *testing.T) {
-	fig := Figure13(nasScale)
+	t.Parallel()
+	fig := Figure13(nasScale(t))
 	for _, bench := range fig.Benchmarks {
 		v, dnf := fig.At(bench, mpiimpl.GridMPI)
 		if dnf {
@@ -162,6 +178,7 @@ func TestTable1Features(t *testing.T) {
 // TestTable6Shape: Sophia dominates every column; the diagonal (local
 // master) is never worse than remote masters for the same cluster.
 func TestTable6Shape(t *testing.T) {
+	t.Parallel()
 	tab := Table6(0.1)
 	for _, master := range tab.Masters {
 		s := tab.Rays[grid5000.Sophia][master]
@@ -188,6 +205,7 @@ func TestTable6Shape(t *testing.T) {
 // TestTable7Shape: compute times are nearly equal across master
 // locations; merge and total vary only slightly.
 func TestTable7Shape(t *testing.T) {
+	t.Parallel()
 	tab := Table7(0.1)
 	var minC, maxC float64
 	for i, m := range tab.Masters {

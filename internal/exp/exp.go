@@ -1,0 +1,581 @@
+// Package exp is the declarative experiment engine of the reproduction.
+//
+// An Experiment names everything one run of the paper's methodology needs:
+// an implementation profile (MPICH2, GridMPI, MPICH-Madeleine, OpenMPI, or
+// the raw-TCP reference), a tuning level (§4.2's TCP and MPI knobs), a
+// topology (which Grid'5000 sites, how many nodes each, optionally
+// overridden WAN latency and bandwidth), and a workload (pingpong,
+// bandwidth trace, a collective/point-to-point pattern, an NPB kernel, or
+// the ray2mesh application). A Sweep expands cross-products of those axes
+// into a work list, and a Runner executes the list across a bounded worker
+// pool with result caching keyed by experiment fingerprint.
+//
+// Every experiment builds its own sim.Kernel, netsim.Network and tcpsim
+// state, so individual runs stay byte-for-byte deterministic while a batch
+// saturates all cores: running a sweep sequentially or with many workers
+// yields identical results.
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/grid5000"
+	"repro/internal/mpi"
+	"repro/internal/mpiimpl"
+	"repro/internal/netsim"
+	"repro/internal/npb"
+	"repro/internal/perf"
+	"repro/internal/ray2mesh"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// Tuning is one of the paper's §4.2 configuration levels.
+type Tuning struct {
+	// TCP applies the §4.2.1 system tuning: 4 MB socket-buffer maxima plus
+	// the per-implementation buffer fixes (the Figure 6 configuration).
+	TCP bool `json:"tcp"`
+	// MPI additionally applies the Table 5 eager/rendezvous thresholds
+	// (the Figure 7 configuration).
+	MPI bool `json:"mpi"`
+}
+
+// TuningLevels lists the paper's three configurations in presentation
+// order: defaults (Figure 3/5), TCP-tuned (Figure 6), fully tuned
+// (Figure 7).
+var TuningLevels = []Tuning{{}, {TCP: true}, {TCP: true, MPI: true}}
+
+func (t Tuning) String() string {
+	switch {
+	case t.TCP && t.MPI:
+		return "fully-tuned"
+	case t.TCP:
+		return "tcp-tuned"
+	case t.MPI:
+		return "mpi-tuned"
+	}
+	return "default"
+}
+
+// Topology describes the simulated testbed: which sites participate, how
+// many nodes each contributes, and optional overrides of the WAN
+// characteristics (zero values keep the published Grid'5000 numbers).
+type Topology struct {
+	Sites        []string `json:"sites"`
+	NodesPerSite int      `json:"nodes_per_site"`
+	// WANOneWay overrides the inter-site one-way delay for every site pair
+	// (0 = the published per-pair Grid'5000 delays).
+	WANOneWay time.Duration `json:"wan_one_way,omitempty"`
+	// WANRate overrides the site uplink rate in bytes/second (0 = 10 GbE).
+	WANRate float64 `json:"wan_rate,omitempty"`
+}
+
+// Cluster is a single-site topology with n nodes in Rennes.
+func Cluster(nodes int) Topology {
+	return Topology{Sites: []string{grid5000.Rennes}, NodesPerSite: nodes}
+}
+
+// Grid is the paper's two-site Rennes–Nancy topology with n nodes per
+// site across the 11.6 ms RTT WAN.
+func Grid(nodesPerSite int) Topology {
+	return Topology{Sites: []string{grid5000.Rennes, grid5000.Nancy}, NodesPerSite: nodesPerSite}
+}
+
+// Build constructs the network. Standard topologies delegate to
+// grid5000.Build; WAN overrides assemble the same layout with the
+// requested delay/uplink.
+func (t Topology) Build() *netsim.Network {
+	if t.WANOneWay == 0 && t.WANRate == 0 {
+		return grid5000.Build(t.NodesPerSite, t.Sites...)
+	}
+	net := netsim.New()
+	uplink := t.WANRate
+	if uplink == 0 {
+		uplink = tcpsim.TenGigabitEthernet
+	}
+	for _, name := range t.Sites {
+		speed := 0.0
+		for _, s := range grid5000.Sites {
+			if s.Name == name {
+				speed = s.CPUSpeed
+			}
+		}
+		if speed == 0 {
+			// Same contract as grid5000.Build: an unknown site is an
+			// error (surfaced as Result.Err by Run's recover), never a
+			// silently wrong CPU speed.
+			panic("exp: unknown site " + name)
+		}
+		net.AddSite(name, t.NodesPerSite, speed, tcpsim.GigabitEthernet, grid5000.IntraClusterOneWay)
+		net.SetUplink(name, uplink)
+	}
+	for i := 0; i < len(t.Sites); i++ {
+		for j := i + 1; j < len(t.Sites); j++ {
+			owd := t.WANOneWay
+			if owd == 0 {
+				owd = grid5000.OneWay(t.Sites[i], t.Sites[j])
+			}
+			net.ConnectSites(t.Sites[i], t.Sites[j], owd)
+		}
+	}
+	return net
+}
+
+// NP is the total rank count of an all-hosts workload on this topology.
+func (t Topology) NP() int { return len(t.Sites) * t.NodesPerSite }
+
+func (t Topology) String() string {
+	s := fmt.Sprintf("%s x%d", strings.Join(t.Sites, "+"), t.NodesPerSite)
+	if t.WANOneWay != 0 {
+		s += fmt.Sprintf(" owd=%v", t.WANOneWay)
+	}
+	if t.WANRate != 0 {
+		s += fmt.Sprintf(" uplink=%.0fMB/s", t.WANRate/1e6)
+	}
+	return s
+}
+
+// Workload kinds.
+const (
+	KindPingPong = "pingpong" // perf.PingPong between two hosts
+	KindTrace    = "trace"    // perf.BandwidthTrace (Figure 9 protocol)
+	KindPattern  = "pattern"  // an SPMD communication pattern on all hosts
+	KindNPB      = "npb"      // one NAS Parallel Benchmark skeleton
+	KindRay2Mesh = "ray2mesh" // the §4.4 seismic ray-tracing application
+)
+
+// Workload is a tagged union selected by Kind; unrelated fields are left
+// zero and omitted from the fingerprint.
+type Workload struct {
+	Kind string `json:"kind"`
+	// Sizes is the pingpong message-size grid.
+	Sizes []int `json:"sizes,omitempty"`
+	// Reps is round trips per size (pingpong), message count (trace).
+	Reps int `json:"reps,omitempty"`
+	// Pattern names the SPMD pattern: pingpong, ring, alltoall, bcast,
+	// allreduce, barrier.
+	Pattern string `json:"pattern,omitempty"`
+	// Size is the message size for pattern and trace workloads.
+	Size int `json:"size,omitempty"`
+	// Iters is the pattern repetition count.
+	Iters int `json:"iters,omitempty"`
+	// Bench is the NPB kernel name (EP, CG, MG, LU, SP, BT, IS, FT).
+	Bench string `json:"bench,omitempty"`
+	// Scale shrinks NPB iteration counts / ray2mesh workloads (1.0 = the
+	// paper's full class B / one million rays; 0 = 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Timeout is the virtual-time budget for NPB and pattern runs; past it
+	// the result reports DNF (0 = one simulated hour; negative = no
+	// limit, the run continues until it finishes or deadlocks).
+	Timeout time.Duration `json:"timeout,omitempty"`
+	// Master is the ray2mesh master site.
+	Master string `json:"master,omitempty"`
+}
+
+// PingPongWorkload is the §3.1 measurement: reps round trips per size,
+// minimum RTT kept.
+func PingPongWorkload(sizes []int, reps int) Workload {
+	return Workload{Kind: KindPingPong, Sizes: sizes, Reps: reps}
+}
+
+// TraceWorkload is the Figure 9 protocol: count messages of the given
+// size, per-message bandwidth against time.
+func TraceWorkload(size, count int) Workload {
+	return Workload{Kind: KindTrace, Size: size, Reps: count}
+}
+
+// PatternWorkload runs a named SPMD pattern on every host of the topology.
+func PatternWorkload(pattern string, size, iters int) Workload {
+	return Workload{Kind: KindPattern, Pattern: pattern, Size: size, Iters: iters}
+}
+
+// NPBWorkload runs one NAS kernel on every host of the topology.
+func NPBWorkload(bench string, scale float64) Workload {
+	return Workload{Kind: KindNPB, Bench: bench, Scale: scale}
+}
+
+// Ray2MeshWorkload runs the seismic application on the fixed four-site
+// testbed with the master on the given site. Impl and Tuning apply; the
+// Topology axis must be zero or Ray2MeshTopology() and EagerThreshold
+// must be zero (the testbed and thresholds are the application's own —
+// anything else is rejected rather than silently ignored).
+func Ray2MeshWorkload(master string, scale float64) Workload {
+	return Workload{Kind: KindRay2Mesh, Master: master, Scale: scale}
+}
+
+func (w Workload) String() string {
+	switch w.Kind {
+	case KindPingPong:
+		switch len(w.Sizes) {
+		case 0:
+			return fmt.Sprintf("pingpong[no sizes x%d]", w.Reps)
+		case 1:
+			return fmt.Sprintf("pingpong[%dB x%d]", w.Sizes[0], w.Reps)
+		}
+		return fmt.Sprintf("pingpong[%dB..%dB/%d x%d]",
+			w.Sizes[0], w.Sizes[len(w.Sizes)-1], len(w.Sizes), w.Reps)
+	case KindTrace:
+		return fmt.Sprintf("trace[%dB x%d]", w.Size, w.Reps)
+	case KindPattern:
+		return fmt.Sprintf("%s[%dB x%d]", w.Pattern, w.Size, w.Iters)
+	case KindNPB:
+		return fmt.Sprintf("npb:%s@%g", w.Bench, w.scale())
+	case KindRay2Mesh:
+		return fmt.Sprintf("ray2mesh@%s x%g", w.Master, w.scale())
+	}
+	return w.Kind
+}
+
+func (w Workload) scale() float64 {
+	if w.Scale == 0 {
+		return 1
+	}
+	return w.Scale
+}
+
+func (w Workload) timeout() time.Duration {
+	if w.Timeout == 0 {
+		return time.Hour
+	}
+	return w.Timeout
+}
+
+// Experiment is one fully specified run.
+type Experiment struct {
+	Impl     string   `json:"impl"`
+	Tuning   Tuning   `json:"tuning"`
+	Topology Topology `json:"topology"`
+	Workload Workload `json:"workload"`
+	// EagerThreshold overrides the profile's eager/rendezvous switch when
+	// positive (threshold sweeps, Table 5).
+	EagerThreshold int `json:"eager_threshold,omitempty"`
+}
+
+// normalized resolves the workload's zero-value aliases (Scale 0 means
+// 1.0, Timeout 0 means one hour) so semantically identical experiments
+// share one fingerprint.
+func (e Experiment) normalized() Experiment {
+	switch e.Workload.Kind {
+	case KindNPB, KindRay2Mesh:
+		e.Workload.Scale = e.Workload.scale()
+	}
+	switch e.Workload.Kind {
+	case KindNPB, KindPattern:
+		if e.Workload.Timeout == 0 {
+			e.Workload.Timeout = e.Workload.timeout()
+		}
+	}
+	return e
+}
+
+// Fingerprint is a stable content hash of the experiment definition, the
+// Runner's cache key. Zero-value workload aliases are normalized first,
+// so e.g. NPB at Scale 0 and Scale 1.0 share a key.
+func (e Experiment) Fingerprint() string {
+	blob, err := json.Marshal(e.normalized())
+	if err != nil {
+		panic("exp: unfingerprintable experiment: " + err.Error())
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Name is a human-readable one-line identity.
+func (e Experiment) Name() string {
+	s := fmt.Sprintf("%s/%s/%s/%s", e.Impl, e.Tuning, e.Topology, e.Workload)
+	if e.EagerThreshold > 0 {
+		s += fmt.Sprintf("/eager=%d", e.EagerThreshold)
+	}
+	return s
+}
+
+// CollCount is one collective operation's call count.
+type CollCount struct {
+	Op    string `json:"op"`
+	Calls int64  `json:"calls"`
+}
+
+// Census is a deterministic, serializable snapshot of a world's
+// communication statistics.
+type Census struct {
+	P2PSends    int64           `json:"p2p_sends"`
+	P2PBytes    int64           `json:"p2p_bytes"`
+	WANSends    int64           `json:"wan_sends"`
+	WANBytes    int64           `json:"wan_bytes"`
+	Rendezvous  int64           `json:"rendezvous"`
+	Unexpected  int64           `json:"unexpected"`
+	Sizes       []mpi.SizeCount `json:"sizes,omitempty"`
+	Collectives []CollCount     `json:"collectives,omitempty"`
+}
+
+// CensusOf snapshots stats into sorted, comparable form.
+func CensusOf(s *mpi.Stats) Census {
+	c := Census{
+		P2PSends:   s.P2PSends,
+		P2PBytes:   s.P2PBytes,
+		WANSends:   s.WANSends,
+		WANBytes:   s.WANBytes,
+		Rendezvous: s.Rendezvous,
+		Unexpected: s.Unexpected,
+		Sizes:      s.SizeCensus(),
+	}
+	for _, op := range s.CollOps() {
+		c.Collectives = append(c.Collectives, CollCount{Op: op, Calls: s.CollCalls(op)})
+	}
+	return c
+}
+
+// Result of one experiment. Everything serialized is a pure function of
+// the Experiment, so two runs of the same experiment marshal to identical
+// bytes (the determinism tests enforce this).
+type Result struct {
+	Exp     Experiment    `json:"experiment"`
+	Elapsed time.Duration `json:"elapsed"`
+	DNF     bool          `json:"dnf,omitempty"`
+	Err     string        `json:"err,omitempty"`
+	// Points holds pingpong measurements (one per size).
+	Points []perf.Point `json:"points,omitempty"`
+	// Trace holds the per-message bandwidth trace.
+	Trace []perf.TracePoint `json:"trace,omitempty"`
+	// Metrics carries workload-specific scalars (max_mbps, min_rtt_us,
+	// rays per node, phase times...). JSON marshals map keys sorted, so
+	// output stays canonical.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Census  Census             `json:"census"`
+	// Cached reports that the Runner served this result from its
+	// fingerprint cache. Excluded from serialization: it describes the
+	// batch, not the experiment.
+	Cached bool `json:"-"`
+}
+
+// clone deep-copies the result's reference fields, so cache consumers
+// can mutate what they receive without corrupting the shared entry.
+func (r Result) clone() Result {
+	out := r
+	out.Points = append([]perf.Point(nil), r.Points...)
+	out.Trace = append([]perf.TracePoint(nil), r.Trace...)
+	out.Census.Sizes = append([]mpi.SizeCount(nil), r.Census.Sizes...)
+	out.Census.Collectives = append([]CollCount(nil), r.Census.Collectives...)
+	if r.Metrics != nil {
+		out.Metrics = make(map[string]float64, len(r.Metrics))
+		for k, v := range r.Metrics {
+			out.Metrics[k] = v
+		}
+	}
+	return out
+}
+
+// MaxMbps is the best bandwidth over the result's points, or 0.
+func (r Result) MaxMbps() float64 {
+	best := 0.0
+	for _, p := range r.Points {
+		if p.Mbps > best {
+			best = p.Mbps
+		}
+	}
+	return best
+}
+
+// CheckImpl validates an implementation name against the profiles
+// Configure accepts (CLI front-ends use it to reject typos before a
+// worker panics on them).
+func CheckImpl(name string) error {
+	for _, k := range mpiimpl.Known {
+		if k == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown implementation %q (have %s)", name, strings.Join(mpiimpl.Known, ", "))
+}
+
+// CheckBench validates an NPB kernel name.
+func CheckBench(name string) error {
+	for _, n := range npb.Names {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown NPB bench %q (have %s)", name, strings.Join(npb.Names, ", "))
+}
+
+// CheckSite validates a ray2mesh master site.
+func CheckSite(name string) error {
+	for _, s := range ray2mesh.Sites {
+		if s == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown ray2mesh master site %q (have %s)", name, strings.Join(ray2mesh.Sites, ", "))
+}
+
+// Run executes one experiment on freshly built simulation state. It never
+// shares mutable state with other runs, so any number of Run calls may
+// proceed concurrently. Invalid experiments come back as Result.Err, and
+// a panic anywhere below is converted to one too — a worker pool must
+// never die (or poison its cache) on one bad experiment.
+func Run(e Experiment) (res Result) {
+	res = Result{Exp: e}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Sprintf("exp: panic: %v", r)
+		}
+	}()
+	if err := CheckImpl(e.Impl); err != nil {
+		res.Err = "exp: " + err.Error()
+		return res
+	}
+	if e.Workload.Kind == KindRay2Mesh {
+		runRay2Mesh(&res)
+		return res
+	}
+	if len(e.Topology.Sites) == 0 || e.Topology.NodesPerSite < 1 {
+		res.Err = fmt.Sprintf("exp: empty topology %s", e.Topology)
+		return res
+	}
+	twoEnded := e.Workload.Kind == KindPingPong || e.Workload.Kind == KindTrace
+	if twoEnded && len(e.Topology.Sites) == 1 && e.Topology.NodesPerSite < 2 {
+		res.Err = fmt.Sprintf("exp: %s on a single site needs at least 2 nodes", e.Workload.Kind)
+		return res
+	}
+
+	prof, tcp := mpiimpl.Configure(e.Impl, e.Tuning.TCP, e.Tuning.MPI)
+	if e.EagerThreshold > 0 {
+		prof = prof.WithEagerThreshold(e.EagerThreshold)
+	}
+	k := sim.New(1)
+	defer k.Close()
+	net := e.Topology.Build()
+
+	switch e.Workload.Kind {
+	case KindPingPong:
+		w := mpi.NewWorld(k, net, tcp, prof, pingpongHosts(net, e.Topology))
+		pts, err := perf.PingPong(w, e.Workload.Sizes, e.Workload.Reps)
+		res.Points = pts
+		res.Elapsed = k.Now()
+		res.fill(w, err)
+		if len(pts) > 0 {
+			res.Metrics = map[string]float64{
+				"max_mbps":   res.MaxMbps(),
+				"min_rtt_us": float64(pts[0].MinRTT) / float64(time.Microsecond),
+			}
+		}
+	case KindTrace:
+		w := mpi.NewWorld(k, net, tcp, prof, pingpongHosts(net, e.Topology))
+		trace, err := perf.BandwidthTrace(w, e.Workload.Size, e.Workload.Reps)
+		res.Trace = trace
+		res.Elapsed = k.Now()
+		res.fill(w, err)
+	case KindPattern:
+		w := mpi.NewWorld(k, net, tcp, prof, allHosts(net, e.Topology))
+		body, err := PatternBody(e.Workload.Pattern, e.Workload.Size, e.Workload.Iters)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		elapsed, err := runBody(w, body, e.Workload)
+		res.Elapsed = elapsed
+		res.fill(w, err)
+	case KindNPB:
+		if err := CheckBench(e.Workload.Bench); err != nil {
+			res.Err = "exp: " + err.Error()
+			return res
+		}
+		w := mpi.NewWorld(k, net, tcp, prof, allHosts(net, e.Topology))
+		spec := npb.Get(e.Workload.Bench)
+		params := npb.Params{NP: e.Topology.NP(), Scale: e.Workload.scale()}
+		elapsed, err := runBody(w, func(r *mpi.Rank) { spec.Run(r, params) }, e.Workload)
+		res.Elapsed = elapsed
+		res.fill(w, err)
+	default:
+		res.Err = fmt.Sprintf("exp: unknown workload kind %q", e.Workload.Kind)
+	}
+	return res
+}
+
+// runBody executes an SPMD body under the workload's time budget
+// (negative = unlimited).
+func runBody(w *mpi.World, body func(*mpi.Rank), wl Workload) (time.Duration, error) {
+	if wl.Timeout < 0 {
+		return w.Run(body)
+	}
+	return w.RunTimeout(body, wl.timeout())
+}
+
+// fill records the census and classifies the run error.
+func (r *Result) fill(w *mpi.World, err error) {
+	r.Census = CensusOf(w.Stats())
+	if err == nil {
+		return
+	}
+	if errors.Is(err, mpi.ErrTimeout) {
+		r.DNF = true
+		return
+	}
+	r.Err = err.Error()
+}
+
+func runRay2Mesh(res *Result) {
+	e := res.Exp
+	if err := CheckSite(e.Workload.Master); err != nil {
+		res.Err = "exp: " + err.Error()
+		return
+	}
+	// The application owns its testbed and thresholds: reject axis values
+	// that could not be honored, so no result is ever labeled with a
+	// configuration that did not actually run.
+	if len(e.Topology.Sites) != 0 && e.Topology.String() != Ray2MeshTopology().String() {
+		res.Err = fmt.Sprintf("exp: ray2mesh runs on its fixed testbed (%s); topology %s cannot be honored — leave it zero or use Ray2MeshTopology()",
+			Ray2MeshTopology(), e.Topology)
+		return
+	}
+	if e.EagerThreshold > 0 {
+		res.Err = "exp: ray2mesh does not support an eager-threshold override"
+		return
+	}
+	cfg := ray2mesh.Default(e.Workload.Master).Scaled(e.Workload.scale())
+	cfg.Impl = e.Impl
+	cfg.TCPTuned = e.Tuning.TCP
+	cfg.MPITuned = e.Tuning.MPI
+	out := ray2mesh.Run(cfg)
+	res.Elapsed = out.TotalTime
+	res.Census = CensusOf(out.Stats)
+	res.Metrics = map[string]float64{
+		"comp_s":     out.CompTime.Seconds(),
+		"merge_s":    out.MergeTime.Seconds(),
+		"total_s":    out.TotalTime.Seconds(),
+		"total_rays": float64(out.TotalRays),
+	}
+	for site, rays := range out.RaysPerNode {
+		res.Metrics["rays_per_node_"+site] = rays
+	}
+}
+
+// pingpongHosts picks the two endpoints: the first host of the first two
+// sites on a grid, the first two hosts of a single cluster.
+func pingpongHosts(net *netsim.Network, t Topology) []*netsim.Host {
+	if len(t.Sites) >= 2 {
+		return []*netsim.Host{
+			net.Host(t.Sites[0] + "-1"),
+			net.Host(t.Sites[1] + "-1"),
+		}
+	}
+	return []*netsim.Host{
+		net.Host(t.Sites[0] + "-1"),
+		net.Host(t.Sites[0] + "-2"),
+	}
+}
+
+// allHosts lists every host site-major in the topology's site order.
+func allHosts(net *netsim.Network, t Topology) []*netsim.Host {
+	var hosts []*netsim.Host
+	for _, s := range t.Sites {
+		hosts = append(hosts, net.SiteHosts(s)...)
+	}
+	return hosts
+}

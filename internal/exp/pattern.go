@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mpi"
+)
+
+// Patterns lists the SPMD pattern names PatternBody accepts.
+var Patterns = []string{"pingpong", "ring", "alltoall", "bcast", "allreduce", "barrier"}
+
+// CheckPattern validates a pattern name (CLI front-ends use it to reject
+// typos at parse time instead of emitting all-ERR result sets).
+func CheckPattern(name string) error {
+	for _, p := range Patterns {
+		if p == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown pattern %q (have %s)", name, strings.Join(Patterns, ", "))
+}
+
+// PatternBody builds the SPMD body for a named communication pattern
+// (shared by cmd/gridsim, cmd/sweep and the pattern workload).
+func PatternBody(pattern string, size, iters int) (func(*mpi.Rank), error) {
+	switch pattern {
+	case "pingpong":
+		return func(r *mpi.Rank) {
+			peer := r.Size() - 1
+			for i := 0; i < iters; i++ {
+				switch r.Rank() {
+				case 0:
+					r.Send(peer, i, size)
+					r.Recv(peer, i)
+				case peer:
+					r.Recv(0, i)
+					r.Send(0, i, size)
+				}
+			}
+		}, nil
+	case "ring":
+		return func(r *mpi.Rank) {
+			right := (r.Rank() + 1) % r.Size()
+			left := (r.Rank() - 1 + r.Size()) % r.Size()
+			for i := 0; i < iters; i++ {
+				req := r.Isend(right, i, size)
+				r.Recv(left, i)
+				r.Wait(req)
+			}
+		}, nil
+	case "alltoall":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Alltoall(size)
+			}
+		}, nil
+	case "bcast":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Bcast(0, size)
+			}
+		}, nil
+	case "allreduce":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Allreduce(size)
+			}
+		}, nil
+	case "barrier":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Barrier()
+			}
+		}, nil
+	}
+	return nil, CheckPattern(pattern)
+}
+
+// ParseSize parses a byte count with optional k/M/G suffixes (powers of
+// two), e.g. "64k", "1M".
+func ParseSize(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	}
+	n, err := strconv.Atoi(s)
+	return n * mult, err
+}

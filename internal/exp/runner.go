@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner executes experiments across a bounded worker pool with a
+// fingerprint-keyed result cache. Each experiment builds private
+// simulation state, so workers never share anything mutable; results are
+// identical whatever the worker count.
+type Runner struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  Result
+}
+
+// NewRunner creates a runner with the given pool size; workers <= 0 uses
+// one worker per available CPU.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, cache: make(map[string]*cacheEntry)}
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// CacheLen reports how many distinct experiments the cache holds.
+func (r *Runner) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+func (r *Runner) entry(fp string) *cacheEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	en, ok := r.cache[fp]
+	if !ok {
+		en = &cacheEntry{}
+		r.cache[fp] = en
+	}
+	return en
+}
+
+// Run executes one experiment, serving repeats from the cache. Concurrent
+// calls with the same fingerprint run the experiment once; the others
+// block until the result is ready and return it marked Cached.
+func (r *Runner) Run(e Experiment) Result {
+	en := r.entry(e.Fingerprint())
+	hit := true
+	en.once.Do(func() {
+		hit = false
+		en.res = Run(e)
+	})
+	// Deep-copy so a caller mutating its result (sorting points,
+	// annotating metrics) cannot corrupt the cached entry.
+	res := en.res.clone()
+	res.Cached = hit
+	return res
+}
+
+// RunAll executes a work list across the pool and returns results in
+// input order. Sequential (workers=1) and parallel runs of the same list
+// produce identical results.
+func (r *Runner) RunAll(exps []Experiment) []Result {
+	results := make([]Result, len(exps))
+	n := r.workers
+	if n > len(exps) {
+		n = len(exps)
+	}
+	if n <= 1 {
+		for i, e := range exps {
+			results[i] = r.Run(e)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = r.Run(exps[i])
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// RunSweep expands and executes a sweep.
+func (r *Runner) RunSweep(s Sweep) []Result { return r.RunAll(s.Experiments()) }

@@ -46,6 +46,10 @@ var All = []string{MPICH2, GridMPI, Madeleine, OpenMPI}
 // of the pingpong figures.
 var WithTCP = []string{RawTCP, MPICH2, GridMPI, Madeleine, OpenMPI}
 
+// Known lists every name Profile and Configure accept, in presentation
+// order (for CLI validation; Profile panics on anything else).
+var Known = []string{RawTCP, MPICH2, GridMPI, Madeleine, OpenMPI, MPICHG2}
+
 const copyRate = 2.5e9 // bytes/s memcpy rate of the Opteron nodes
 
 // Profile returns the default-configuration profile of one implementation.

@@ -12,6 +12,7 @@
 package ray2mesh
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/grid5000"
@@ -44,6 +45,11 @@ type Config struct {
 	// Impl is the MPI implementation profile to use (the paper used
 	// LAM/MPI for these runs; any of the four profiles works).
 	Impl string
+	// TCPTuned / MPITuned select the §4.2 tuning level of the run. The
+	// paper runs the application after system tuning, so Default sets
+	// TCPTuned and leaves MPITuned off.
+	TCPTuned bool
+	MPITuned bool
 }
 
 // Default returns the paper's configuration with the master on the given
@@ -58,15 +64,17 @@ func Default(masterSite string) Config {
 		MergeBytes: 235 << 20,
 		MergeRate:  1.62e6,
 		Impl:       mpiimpl.MPICH2,
+		TCPTuned:   true,
 	}
 }
 
 // Scaled returns the configuration shrunk by factor f (rays and merge
-// volume), for fast tests.
+// volume), for fast tests. The ray count floors at MinRays — one chunk
+// per slave — below which the self-scheduling protocol cannot terminate.
 func (c Config) Scaled(f float64) Config {
 	c.Rays = int(float64(c.Rays) * f)
-	if c.Rays < c.ChunkRays {
-		c.Rays = c.ChunkRays
+	if min := c.MinRays(); c.Rays < min {
+		c.Rays = min
 	}
 	c.MergeBytes = int64(float64(c.MergeBytes) * f)
 	return c
@@ -83,6 +91,8 @@ type Result struct {
 	CompTime  time.Duration
 	MergeTime time.Duration
 	TotalTime time.Duration
+	// Stats is the world's communication census.
+	Stats *mpi.Stats
 }
 
 const (
@@ -95,6 +105,19 @@ const (
 // Sites lists the four clusters in the paper's Table 6 column order.
 var Sites = []string{grid5000.Nancy, grid5000.Rennes, grid5000.Sophia, grid5000.Toulouse}
 
+// NodesPerSite is the testbed's per-cluster node count (Figure 8).
+const NodesPerSite = 8
+
+// Slaves is the worker count of the application: every testbed node runs
+// one slave (the master shares its first node).
+var Slaves = len(Sites) * NodesPerSite
+
+// MinRays is the smallest ray count the self-scheduling protocol can
+// terminate with: the master's initial round hands one chunk to every
+// slave, and a slave that receives a done-marker there never enters the
+// request loop the master waits on.
+func (c Config) MinRays() int { return c.ChunkRays * Slaves }
+
 // run-local result accounting (chunk grants travel inside the messages
 // themselves via SendPayload).
 type state struct {
@@ -103,9 +126,15 @@ type state struct {
 	compEnd  sim.Time
 }
 
-// Run executes the application on the four-site testbed.
+// Run executes the application on the four-site testbed. It panics when
+// cfg.Rays is below MinRays (the run could never terminate — see
+// MinRays); callers wanting a soft failure check first.
 func Run(cfg Config) Result {
-	prof, tcp := mpiimpl.Configure(cfg.Impl, true, false)
+	if cfg.Rays < cfg.MinRays() {
+		panic(fmt.Sprintf("ray2mesh: %d rays is fewer than the %d (one chunk per slave) the self-scheduler needs to terminate",
+			cfg.Rays, cfg.MinRays()))
+	}
+	prof, tcp := mpiimpl.Configure(cfg.Impl, cfg.TCPTuned, cfg.MPITuned)
 	k := sim.New(1)
 	defer k.Close()
 
@@ -153,6 +182,7 @@ func Run(cfg Config) Result {
 		TotalTime:   mergeEnd,
 		CompTime:    time.Duration(st.compEnd),
 		MergeTime:   mergeEnd - time.Duration(st.compEnd),
+		Stats:       w.Stats(),
 	}
 	perSite := make(map[string]int)
 	for i := 1; i <= nSlaves; i++ {

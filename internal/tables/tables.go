@@ -3,6 +3,7 @@
 package tables
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
 )
@@ -40,6 +41,21 @@ func Render(headers []string, rows [][]string) string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// CSV formats a header row and data rows as RFC 4180 CSV (the sweep
+// engine's machine-readable output).
+func CSV(headers []string, rows [][]string) (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(headers); err != nil {
+		return "", err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return "", err
+	}
+	w.Flush()
+	return b.String(), w.Error()
 }
 
 // Size formats a byte count compactly (B, kB, MB).

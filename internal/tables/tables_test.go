@@ -24,6 +24,20 @@ func TestRenderAlignsColumns(t *testing.T) {
 	}
 }
 
+func TestCSV(t *testing.T) {
+	out, err := CSV(
+		[]string{"impl", "note"},
+		[][]string{{"GridMPI", "pacing, collectives"}, {"MPICH2", "plain"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "impl,note\nGridMPI,\"pacing, collectives\"\nMPICH2,plain\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
 func TestSize(t *testing.T) {
 	cases := map[int64]string{
 		64:       "64 B",
