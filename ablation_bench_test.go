@@ -109,7 +109,7 @@ func BenchmarkAblationGridCollectives(b *testing.B) {
 func BenchmarkExtensionParallelStreams(b *testing.B) {
 	var pts []core.StreamsPoint
 	for i := 0; i < b.N; i++ {
-		pts = core.ExtensionMPICHG2(10)
+		pts = core.ExtensionMPICHG2(exp.NewRunner(0), 10)
 	}
 	last := pts[len(pts)-1]
 	b.ReportMetric(last.MPICHG2Mbps/last.MPICH2Mbps, "stream-gain-64M")
@@ -120,7 +120,7 @@ func BenchmarkExtensionParallelStreams(b *testing.B) {
 func BenchmarkAblationBufferSweep(b *testing.B) {
 	var pts []core.BufferPoint
 	for i := 0; i < b.N; i++ {
-		pts = core.BufferSweep(10)
+		pts = core.BufferSweep(exp.NewRunner(0), 10)
 	}
 	b.ReportMetric(pts[0].Mbps, "64kB-Mbps")
 	b.ReportMetric(pts[len(pts)-1].Mbps, "8MB-Mbps")

@@ -46,7 +46,7 @@ func BenchmarkTable1Features(b *testing.B) {
 func BenchmarkTable2Census(b *testing.B) {
 	var rows []core.CensusRow
 	for i := 0; i < b.N; i++ {
-		rows = core.Table2(0.05)
+		rows = core.Table2(exp.NewRunner(0), 0.05)
 	}
 	b.ReportMetric(float64(rows[3].P2PSends), "LU-msgs")
 }
@@ -54,7 +54,7 @@ func BenchmarkTable2Census(b *testing.B) {
 func BenchmarkTable4Latency(b *testing.B) {
 	var rows []core.LatencyRow
 	for i := 0; i < b.N; i++ {
-		rows = core.Table4(benchReps)
+		rows = core.Table4(exp.NewRunner(0), benchReps)
 	}
 	for _, r := range rows {
 		if r.Impl == mpiimpl.MPICH2 {
@@ -67,7 +67,7 @@ func BenchmarkTable4Latency(b *testing.B) {
 func BenchmarkFigure3GridDefaults(b *testing.B) {
 	var fig core.Figure
 	for i := 0; i < b.N; i++ {
-		fig = core.Figure3(benchReps)
+		fig = core.Figure3(exp.NewRunner(0), benchReps)
 	}
 	b.ReportMetric(maxMbps(fig.Get(mpiimpl.RawTCP)), "tcp-max-Mbps")
 	b.ReportMetric(maxMbps(fig.Get(mpiimpl.GridMPI)), "gridmpi-max-Mbps")
@@ -76,7 +76,7 @@ func BenchmarkFigure3GridDefaults(b *testing.B) {
 func BenchmarkFigure5ClusterDefaults(b *testing.B) {
 	var fig core.Figure
 	for i := 0; i < b.N; i++ {
-		fig = core.Figure5(benchReps)
+		fig = core.Figure5(exp.NewRunner(0), benchReps)
 	}
 	b.ReportMetric(maxMbps(fig.Get(mpiimpl.RawTCP)), "tcp-max-Mbps")
 }
@@ -84,7 +84,7 @@ func BenchmarkFigure5ClusterDefaults(b *testing.B) {
 func BenchmarkFigure6GridTCPTuned(b *testing.B) {
 	var fig core.Figure
 	for i := 0; i < b.N; i++ {
-		fig = core.Figure6(benchReps)
+		fig = core.Figure6(exp.NewRunner(0), benchReps)
 	}
 	b.ReportMetric(maxMbps(fig.Get(mpiimpl.MPICH2)), "mpich2-max-Mbps")
 	b.ReportMetric(fig.At(mpiimpl.MPICH2, 512<<10), "mpich2-512k-Mbps")
@@ -93,7 +93,7 @@ func BenchmarkFigure6GridTCPTuned(b *testing.B) {
 func BenchmarkFigure7FullyTuned(b *testing.B) {
 	var fig core.Figure
 	for i := 0; i < b.N; i++ {
-		fig = core.Figure7(benchReps)
+		fig = core.Figure7(exp.NewRunner(0), benchReps)
 	}
 	b.ReportMetric(fig.At(mpiimpl.MPICH2, 64<<20), "mpich2-64M-Mbps")
 	b.ReportMetric(fig.At(mpiimpl.OpenMPI, 64<<20), "openmpi-64M-Mbps")
@@ -102,7 +102,7 @@ func BenchmarkFigure7FullyTuned(b *testing.B) {
 func BenchmarkTable5Thresholds(b *testing.B) {
 	var rows []core.ThresholdRow
 	for i := 0; i < b.N; i++ {
-		rows = core.Table5(5)
+		rows = core.Table5(exp.NewRunner(0), 5)
 	}
 	if rows[0].Grid != "65 MB" {
 		b.Fatalf("MPICH2 ideal = %s", rows[0].Grid)
@@ -112,7 +112,7 @@ func BenchmarkTable5Thresholds(b *testing.B) {
 func BenchmarkFigure9SlowStart(b *testing.B) {
 	var traces []core.Trace
 	for i := 0; i < b.N; i++ {
-		traces = core.Figure9(200)
+		traces = core.Figure9(exp.NewRunner(0), 200)
 	}
 	for _, tr := range traces {
 		switch tr.Label {
@@ -127,7 +127,7 @@ func BenchmarkFigure9SlowStart(b *testing.B) {
 func BenchmarkFigure10ImplComparison(b *testing.B) {
 	var fig core.NASFigure
 	for i := 0; i < b.N; i++ {
-		fig = core.Figure10(benchScale)
+		fig = core.Figure10(exp.NewRunner(0), benchScale)
 	}
 	ft, _ := fig.At("FT", mpiimpl.GridMPI)
 	b.ReportMetric(ft, "gridmpi-FT-rel")
@@ -139,7 +139,7 @@ func BenchmarkFigure10ImplComparison(b *testing.B) {
 func BenchmarkFigure11SmallComparison(b *testing.B) {
 	var fig core.NASFigure
 	for i := 0; i < b.N; i++ {
-		fig = core.Figure11(benchScale)
+		fig = core.Figure11(exp.NewRunner(0), benchScale)
 	}
 	ft, _ := fig.At("FT", mpiimpl.GridMPI)
 	b.ReportMetric(ft, "gridmpi-FT-rel")
@@ -148,7 +148,7 @@ func BenchmarkFigure11SmallComparison(b *testing.B) {
 func BenchmarkFigure12GridVsCluster(b *testing.B) {
 	var fig core.NASFigure
 	for i := 0; i < b.N; i++ {
-		fig = core.Figure12(benchScale)
+		fig = core.Figure12(exp.NewRunner(0), benchScale)
 	}
 	cg, _ := fig.At("CG", mpiimpl.GridMPI)
 	lu, _ := fig.At("LU", mpiimpl.GridMPI)
@@ -159,7 +159,7 @@ func BenchmarkFigure12GridVsCluster(b *testing.B) {
 func BenchmarkFigure13GridSpeedup(b *testing.B) {
 	var fig core.NASFigure
 	for i := 0; i < b.N; i++ {
-		fig = core.Figure13(benchScale)
+		fig = core.Figure13(exp.NewRunner(0), benchScale)
 	}
 	lu, _ := fig.At("LU", mpiimpl.GridMPI)
 	cg, _ := fig.At("CG", mpiimpl.GridMPI)
@@ -170,7 +170,7 @@ func BenchmarkFigure13GridSpeedup(b *testing.B) {
 func BenchmarkTable6RayDistribution(b *testing.B) {
 	var tab core.RayTable6
 	for i := 0; i < b.N; i++ {
-		tab = core.Table6(0.25)
+		tab = core.Table6(exp.NewRunner(0), 0.25)
 	}
 	b.ReportMetric(tab.Rays[grid5000.Sophia][grid5000.Sophia], "sophia-rays-per-node")
 }
@@ -178,7 +178,7 @@ func BenchmarkTable6RayDistribution(b *testing.B) {
 func BenchmarkTable7RayTimes(b *testing.B) {
 	var tab core.RayTable7
 	for i := 0; i < b.N; i++ {
-		tab = core.Table7(0.25)
+		tab = core.Table7(exp.NewRunner(0), 0.25)
 	}
 	b.ReportMetric(tab.Total[grid5000.Rennes].Seconds(), "total-s")
 }

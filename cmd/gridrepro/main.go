@@ -2,46 +2,162 @@
 // figure of the paper, in order, printing the regenerated results. Its
 // output is the body of EXPERIMENTS.md.
 //
+// All sections are generated concurrently through one shared experiment
+// runner (-workers bounds the pool); the output order is fixed and the
+// results are deterministic virtual-time simulation, so stdout is
+// byte-identical whatever the worker count. With -cache DIR, results
+// persist to a content-addressed disk store keyed by experiment
+// fingerprint: an immediately repeated invocation recomputes nothing and
+// serves every cell from disk (the cache summary on stderr reports the
+// split).
+//
 // With -quick, reduced repetition counts and workload scales are used
-// (the shapes are unchanged; only sampling density drops).
+// (the shapes are unchanged; only sampling density drops). The -reps,
+// -nas-scale, -ray-scale and -trace flags override the per-mode defaults
+// individually (tests and CI use them to shrink the run further).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"os"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "use reduced repetitions and workload scales")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errFlagParse) {
+			os.Exit(2) // already reported by the FlagSet
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// errFlagParse marks a parse failure the FlagSet has already reported on
+// stderr; main must not print it a second time.
+var errFlagParse = errors.New("flag parsing failed")
+
+// section is one unit of the paper, generated concurrently and printed
+// in order.
+type section struct {
+	name string
+	gen  func() string
+}
+
+// generate runs one section, converting a generator panic (a failed
+// experiment) into an error instead of killing the whole regeneration
+// goroutine pool.
+func generate(s section) (out string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("section %s: %v", s.name, r)
+		}
+	}()
+	return s.gen(), nil
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("gridrepro", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	quick := fs.Bool("quick", false, "use reduced repetitions and workload scales")
+	workers := fs.Int("workers", 0, "experiment worker-pool size (0 = one per CPU)")
+	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = in-memory only)")
+	repsFlag := fs.Int("reps", 0, "override pingpong round trips per size (0 = per-mode default)")
+	nasFlag := fs.Float64("nas-scale", 0, "override the NPB workload scale (0 = per-mode default)")
+	rayFlag := fs.Float64("ray-scale", 0, "override the ray2mesh workload scale (0 = per-mode default)")
+	traceFlag := fs.Int("trace", 0, "override the Figure 9 message count (0 = per-mode default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse // already reported by the FlagSet
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(errOut, "unexpected arguments: %v\n", fs.Args())
+		return errFlagParse
+	}
 
 	reps, nasScale, rayScale, traceN := core.DefaultReps, 0.25, 1.0, 200
 	if *quick {
 		reps, nasScale, rayScale, traceN = 20, 0.1, 0.1, 100
 	}
+	if *repsFlag > 0 {
+		reps = *repsFlag
+	}
+	if *nasFlag > 0 {
+		nasScale = *nasFlag
+	}
+	if *rayFlag > 0 {
+		rayScale = *rayFlag
+	}
+	if *traceFlag > 0 {
+		traceN = *traceFlag
+	}
 
-	fmt.Println("=== Reproduction of: Comparison and tuning of MPI implementations in a grid context (Hablot et al., 2007) ===")
-	fmt.Println()
-	fmt.Println(core.RenderTable1(core.Table1()))
-	fmt.Println(core.RenderTable2(core.Table2(nasScale)))
-	fmt.Println(core.RenderTable4(core.Table4(reps)))
-	fmt.Println(core.RenderPingPongFigure(core.Figure5(reps)))
-	fmt.Println(core.RenderPingPongFigure(core.Figure3(reps)))
-	fmt.Println(core.RenderPingPongFigure(core.Figure6(reps)))
-	fmt.Println(core.RenderTable5(core.Table5(20)))
-	fmt.Println(core.RenderPingPongFigure(core.Figure7(reps)))
-	fmt.Println(core.RenderFigure9(core.Figure9(traceN)))
-	fmt.Println(core.RenderNASFigure(core.Figure10(nasScale)))
-	fmt.Println(core.RenderNASFigure(core.Figure11(nasScale)))
-	fmt.Println(core.RenderNASFigure(core.Figure12(nasScale)))
-	fmt.Println(core.RenderNASFigure(core.Figure13(nasScale)))
-	fmt.Println(core.RenderTable6(core.Table6(rayScale)))
-	fmt.Println(core.RenderTable7(core.Table7(rayScale)))
+	r, err := exp.NewRunnerDir(*workers, *cacheDir)
+	if err != nil {
+		return err
+	}
 
-	// Beyond the paper: the §5 future-work experiments and an ablation.
-	fmt.Println(core.RenderExtensionMPICHG2(core.ExtensionMPICHG2(reps)))
-	fmt.Println(core.RenderExtensionHeterogeneity(core.ExtensionHeterogeneity(reps)))
-	fmt.Println(core.RenderBufferSweep(core.BufferSweep(reps)))
+	sections := []section{
+		{"table1", func() string { return core.RenderTable1(core.Table1()) }},
+		{"table2", func() string { return core.RenderTable2(core.Table2(r, nasScale)) }},
+		{"table4", func() string { return core.RenderTable4(core.Table4(r, reps)) }},
+		{"figure5", func() string { return core.RenderPingPongFigure(core.Figure5(r, reps)) }},
+		{"figure3", func() string { return core.RenderPingPongFigure(core.Figure3(r, reps)) }},
+		{"figure6", func() string { return core.RenderPingPongFigure(core.Figure6(r, reps)) }},
+		{"table5", func() string { return core.RenderTable5(core.Table5(r, reps)) }},
+		{"figure7", func() string { return core.RenderPingPongFigure(core.Figure7(r, reps)) }},
+		{"figure9", func() string { return core.RenderFigure9(core.Figure9(r, traceN)) }},
+		{"figure10", func() string { return core.RenderNASFigure(core.Figure10(r, nasScale)) }},
+		{"figure11", func() string { return core.RenderNASFigure(core.Figure11(r, nasScale)) }},
+		{"figure12", func() string { return core.RenderNASFigure(core.Figure12(r, nasScale)) }},
+		{"figure13", func() string { return core.RenderNASFigure(core.Figure13(r, nasScale)) }},
+		{"table6", func() string { return core.RenderTable6(core.Table6(r, rayScale)) }},
+		{"table7", func() string { return core.RenderTable7(core.Table7(r, rayScale)) }},
+		// Beyond the paper: the §5 future-work experiments and an ablation.
+		{"extension-g2", func() string { return core.RenderExtensionMPICHG2(core.ExtensionMPICHG2(r, reps)) }},
+		{"extension-het", func() string { return core.RenderExtensionHeterogeneity(core.ExtensionHeterogeneity(r, reps)) }},
+		{"buffer-sweep", func() string { return core.RenderBufferSweep(core.BufferSweep(r, reps)) }},
+	}
+
+	// Every section generates concurrently; the runner's semaphore keeps
+	// total simulation work bounded by -workers, and the fixed print
+	// order below keeps stdout byte-identical whatever the pool size.
+	outs := make([]string, len(sections))
+	errs := make([]error, len(sections))
+	var wg sync.WaitGroup
+	for i, s := range sections {
+		wg.Add(1)
+		go func(i int, s section) {
+			defer wg.Done()
+			outs[i], errs[i] = generate(s)
+		}(i, s)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out, "=== Reproduction of: Comparison and tuning of MPI implementations in a grid context (Hablot et al., 2007) ===")
+	fmt.Fprintln(out)
+	for _, s := range outs {
+		fmt.Fprintln(out, s)
+	}
+
+	stats := r.CacheStats()
+	fmt.Fprintf(errOut, "cache: %d computed, %d from disk, %d from memory (%d distinct experiments)\n",
+		stats.Computed, stats.Disk, stats.Memory, r.CacheLen())
+	if stats.StoreErrors > 0 {
+		fmt.Fprintf(errOut, "warning: %d results could not be written to the disk cache\n", stats.StoreErrors)
+	}
+	return nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyArgs shrinks every axis of the quick mode further so whole-paper
+// regeneration fits in a unit test; the shapes don't matter here, only
+// determinism and cache behaviour.
+var tinyArgs = []string{"-quick", "-reps", "2", "-nas-scale", "0.02", "-ray-scale", "0.02", "-trace", "10"}
+
+func regen(t *testing.T, extra ...string) (string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := run(append(append([]string{}, tinyArgs...), extra...), &out, &errOut); err != nil {
+		t.Fatalf("run %v: %v\nstderr: %s", extra, err, errOut.String())
+	}
+	return out.String(), errOut.String()
+}
+
+// TestParallelMatchesSequentialAndCacheServesSecondRun is the command's
+// contract: -workers N output is byte-identical to -workers 1, and an
+// immediately repeated invocation against the same cache directory
+// recomputes nothing.
+func TestParallelMatchesSequentialAndCacheServesSecondRun(t *testing.T) {
+	dir := t.TempDir()
+	seq, _ := regen(t, "-workers", "1")
+	par, parErr := regen(t, "-workers", "4", "-cache", dir)
+	if seq != par {
+		t.Fatal("-workers 4 output differs from -workers 1")
+	}
+	if !strings.Contains(parErr, " 0 from disk") {
+		t.Errorf("first cached run should find an empty store: %s", parErr)
+	}
+
+	again, againErr := regen(t, "-workers", "4", "-cache", dir)
+	if again != par {
+		t.Fatal("second run against the cache produced different output")
+	}
+	if !strings.HasPrefix(againErr, "cache: 0 computed") {
+		t.Errorf("second run recomputed cells: %s", againErr)
+	}
+	if !strings.Contains(againErr, "from disk") || strings.Contains(againErr, " 0 from disk") {
+		t.Errorf("second run did not load from disk: %s", againErr)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"extra"}, &out, &errOut); err == nil {
+		t.Error("positional arguments accepted")
+	}
+	if err := run([]string{"-cache", "\x00impossible/dir"}, &out, &errOut); err == nil {
+		t.Error("uncreatable cache dir accepted")
+	}
+}

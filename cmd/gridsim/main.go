@@ -56,6 +56,7 @@ func run(args []string, out, errOut io.Writer) error {
 	tcpTuned := fs.Bool("tcp-tuned", true, "apply the paper's §4.2.1 TCP tuning")
 	mpiTuned := fs.Bool("mpi-tuned", true, "apply the paper's §4.2.2 threshold tuning")
 	budget := fs.Duration("timeout", 0, "virtual-time budget; past it the run reports DNF (0 = unlimited)")
+	cacheDir := fs.String("cache", "", "persistent result-cache directory; repeated invocations serve hits from it")
 	asJSON := fs.Bool("json", false, "emit the full experiment result as JSON")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -93,7 +94,11 @@ func run(args []string, out, errOut io.Writer) error {
 		Topology: topo,
 		Workload: wl,
 	}
-	res := exp.Run(e)
+	runner, err := exp.NewRunnerDir(1, *cacheDir)
+	if err != nil {
+		return err
+	}
+	res := runner.Run(e)
 	if res.Err != "" {
 		return fmt.Errorf("%w: %s", errRunFailed, res.Err)
 	}

@@ -11,19 +11,22 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.25, "fraction of full class-B iterations")
 	figure := flag.String("figure", "all", "which figure to run: 10, 11, 12, 13, table2 or all")
+	workers := flag.Int("workers", 0, "experiment worker-pool size (0 = one per CPU)")
 	flag.Parse()
 
+	r := exp.NewRunner(*workers)
 	if *figure == "all" || *figure == "table2" {
-		fmt.Println(core.RenderTable2(core.Table2(*scale)))
+		fmt.Println(core.RenderTable2(core.Table2(r, *scale)))
 	}
-	run := func(name string, f func(float64) core.NASFigure) {
+	run := func(name string, f func(*exp.Runner, float64) core.NASFigure) {
 		if *figure == "all" || *figure == name {
-			fmt.Println(core.RenderNASFigure(f(*scale)))
+			fmt.Println(core.RenderNASFigure(f(r, *scale)))
 		}
 	}
 	run("10", core.Figure10)

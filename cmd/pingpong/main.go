@@ -11,20 +11,23 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 func main() {
 	reps := flag.Int("reps", core.DefaultReps, "round trips per message size")
 	figure := flag.String("figure", "all", "which figure to run: 3, 5, 6, 7 or all")
 	table4 := flag.Bool("table4", true, "also print the latency table")
+	workers := flag.Int("workers", 0, "experiment worker-pool size (0 = one per CPU)")
 	flag.Parse()
 
+	r := exp.NewRunner(*workers)
 	if *table4 {
-		fmt.Println(core.RenderTable4(core.Table4(*reps)))
+		fmt.Println(core.RenderTable4(core.Table4(r, *reps)))
 	}
-	run := func(name string, f func(int) core.Figure) {
+	run := func(name string, f func(*exp.Runner, int) core.Figure) {
 		if *figure == "all" || *figure == name {
-			fmt.Println(core.RenderPingPongFigure(f(*reps)))
+			fmt.Println(core.RenderPingPongFigure(f(r, *reps)))
 		}
 	}
 	run("5", core.Figure5)

@@ -8,11 +8,16 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of the one-million-ray workload")
+	workers := flag.Int("workers", 0, "experiment worker-pool size (0 = one per CPU)")
 	flag.Parse()
-	fmt.Println(core.RenderTable6(core.Table6(*scale)))
-	fmt.Println(core.RenderTable7(core.Table7(*scale)))
+	// One shared runner: Tables 6 and 7 read the same four experiments,
+	// so the second table is served entirely from the cache.
+	r := exp.NewRunner(*workers)
+	fmt.Println(core.RenderTable6(core.Table6(r, *scale)))
+	fmt.Println(core.RenderTable7(core.Table7(r, *scale)))
 }

@@ -8,10 +8,12 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 func main() {
 	count := flag.Int("count", 200, "number of 1 MB messages")
+	workers := flag.Int("workers", 0, "experiment worker-pool size (0 = one per CPU)")
 	flag.Parse()
-	fmt.Println(core.RenderFigure9(core.Figure9(*count)))
+	fmt.Println(core.RenderFigure9(core.Figure9(exp.NewRunner(*workers), *count)))
 }

@@ -166,6 +166,7 @@ func run(args []string, out, errOut io.Writer) error {
 	scale := fs.Float64("scale", 0.1, "NPB / ray2mesh workload scale (1.0 = the paper's full size)")
 	maxSizeStr := fs.String("max-size", "64M", "largest pingpong message size")
 	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = in-memory only)")
 	format := fs.String("format", "table", "output: table, csv, json")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -215,7 +216,10 @@ func run(args []string, out, errOut io.Writer) error {
 		topos = []exp.Topology{exp.Ray2MeshTopology()}
 	}
 	sweep := exp.Sweep{Impls: impls, Tunings: tunings, Topologies: topos, Workloads: workloads}
-	runner := exp.NewRunner(*workers)
+	runner, err := exp.NewRunnerDir(*workers, *cacheDir)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	results := runner.RunSweep(sweep)
 	wall := time.Since(start)
@@ -234,6 +238,11 @@ func run(args []string, out, errOut io.Writer) error {
 		fmt.Fprintln(out, exp.MatrixTable(title, results))
 		fmt.Fprintf(out, "%d experiments, %d workers, wall time %v\n",
 			len(results), runner.Workers(), wall.Round(time.Millisecond))
+	}
+	if *cacheDir != "" {
+		stats := runner.CacheStats()
+		fmt.Fprintf(errOut, "cache: %d computed, %d from disk, %d from memory\n",
+			stats.Computed, stats.Disk, stats.Memory)
 	}
 	// Failed cells render as ERR/err fields above; surface the reason and
 	// exit nonzero so scripts don't take a broken sweep as a measurement.

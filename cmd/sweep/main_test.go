@@ -112,3 +112,28 @@ func TestRunBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCachePersists: a second invocation against the same -cache
+// directory recomputes nothing and renders identical output.
+func TestRunCachePersists(t *testing.T) {
+	dir := t.TempDir()
+	render := func() (string, string) {
+		var out, errOut strings.Builder
+		args := append([]string{"-format", "json", "-cache", dir}, tinyArgs...)
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String(), errOut.String()
+	}
+	first, firstErr := render()
+	if !strings.Contains(firstErr, "4 computed, 0 from disk") {
+		t.Errorf("first run cache summary: %s", firstErr)
+	}
+	second, secondErr := render()
+	if first != second {
+		t.Fatal("cached rerun rendered different JSON")
+	}
+	if !strings.Contains(secondErr, "0 computed, 4 from disk") {
+		t.Errorf("second run recomputed cells: %s", secondErr)
+	}
+}

@@ -9,11 +9,12 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 func main() {
 	reps := flag.Int("reps", 20, "round trips per size during the sweep")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	flag.Parse()
-	fmt.Println(core.RenderTable5(core.Table5Workers(*reps, *workers)))
+	fmt.Println(core.RenderTable5(core.Table5(exp.NewRunner(*workers), *reps)))
 }

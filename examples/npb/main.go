@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/mpiimpl"
 	"repro/internal/npb"
@@ -26,6 +27,12 @@ func main() {
 		Bench: *bench, Impl: mpiimpl.GridMPI, NP: 16,
 		Placement: npb.TwoClusters, Scale: *scale,
 	})
+	for _, res := range []npb.Result{cluster, grid} {
+		if res.Err != "" {
+			fmt.Fprintln(os.Stderr, res.Err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("%s (class B skeleton, 16 ranks, scale %.2f) with GridMPI:\n\n", *bench, *scale)
 	fmt.Printf("  16 nodes, one cluster:      %v\n", cluster.Elapsed)

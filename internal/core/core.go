@@ -109,7 +109,7 @@ func DefaultSizes() []int { return exp.PaperSizes() }
 // DefaultReps matches the paper's 200 round trips per size.
 const DefaultReps = 200
 
-func pingpongFigure(name, title string, placement Placement, tcpTuned, mpiTuned bool, sizes []int, reps int) Figure {
+func pingpongFigure(r *exp.Runner, name, title string, placement Placement, tcpTuned, mpiTuned bool, sizes []int, reps int) Figure {
 	sweep := exp.Sweep{
 		Impls:      mpiimpl.WithTCP,
 		Tunings:    []exp.Tuning{{TCP: tcpTuned, MPI: mpiTuned}},
@@ -117,7 +117,7 @@ func pingpongFigure(name, title string, placement Placement, tcpTuned, mpiTuned 
 		Workloads:  []exp.Workload{exp.PingPongWorkload(sizes, reps)},
 	}
 	fig := Figure{Name: name, Title: title}
-	for _, res := range exp.NewRunner(0).RunSweep(sweep) {
+	for _, res := range r.RunSweep(sweep) {
 		if res.Err != "" {
 			panic("core: " + name + "/" + res.Exp.Impl + ": " + res.Err)
 		}
@@ -128,8 +128,8 @@ func pingpongFigure(name, title string, placement Placement, tcpTuned, mpiTuned 
 
 // Figure3 is the grid pingpong with default parameters: every curve is
 // strangled below ~120 Mbps by default socket buffers.
-func Figure3(reps int) Figure {
-	return pingpongFigure("figure3",
+func Figure3(r *exp.Runner, reps int) Figure {
+	return pingpongFigure(r, "figure3",
 		"MPI bandwidth, grid (Rennes-Nancy), default parameters",
 		Grid, false, false, DefaultSizes(), reps)
 }
@@ -137,8 +137,8 @@ func Figure3(reps int) Figure {
 // Figure5 is the cluster pingpong with default parameters: everything
 // reaches the 940 Mbps TCP goodput, with the eager/rendezvous threshold
 // dip around 128 kB.
-func Figure5(reps int) Figure {
-	return pingpongFigure("figure5",
+func Figure5(r *exp.Runner, reps int) Figure {
+	return pingpongFigure(r, "figure5",
 		"MPI bandwidth, cluster (Rennes), default parameters",
 		Cluster, false, false, DefaultSizes(), reps)
 }
@@ -146,16 +146,16 @@ func Figure5(reps int) Figure {
 // Figure6 is the grid pingpong after TCP tuning (4 MB buffers plus the
 // per-implementation buffer fixes): ~900 Mbps recovered, threshold dip
 // still present except for GridMPI.
-func Figure6(reps int) Figure {
-	return pingpongFigure("figure6",
+func Figure6(r *exp.Runner, reps int) Figure {
+	return pingpongFigure(r, "figure6",
 		"MPI bandwidth, grid, after TCP tuning",
 		Grid, true, false, DefaultSizes(), reps)
 }
 
 // Figure7 is the grid pingpong after TCP and MPI tuning: every curve
 // matches TCP, with OpenMPI slightly lower on big messages.
-func Figure7(reps int) Figure {
-	return pingpongFigure("figure7",
+func Figure7(r *exp.Runner, reps int) Figure {
+	return pingpongFigure(r, "figure7",
 		"MPI bandwidth, grid, after TCP tuning and MPI optimizations",
 		Grid, true, true, DefaultSizes(), reps)
 }
@@ -171,14 +171,14 @@ type LatencyRow struct {
 
 // Table4 measures the latency comparison of Table 4. The ten
 // (implementation, placement) cells run as one parallel sweep.
-func Table4(reps int) []LatencyRow {
+func Table4(r *exp.Runner, reps int) []LatencyRow {
 	sweep := exp.Sweep{
 		Impls:      mpiimpl.WithTCP,
 		Tunings:    []exp.Tuning{{}},
 		Topologies: []exp.Topology{Cluster.Topology(), Grid.Topology()},
 		Workloads:  []exp.Workload{exp.PingPongWorkload([]int{1}, reps)},
 	}
-	results := exp.NewRunner(0).RunSweep(sweep)
+	results := r.RunSweep(sweep)
 	oneWay := func(i int) time.Duration {
 		res := results[i]
 		if res.Err != "" {
@@ -214,7 +214,7 @@ type Trace struct {
 // Figure9 reproduces the slow-start study: 200 messages of 1 MB on the
 // fully tuned grid (the study follows the §4.2 tuning), per-message
 // bandwidth against time, for raw TCP and the four implementations.
-func Figure9(count int) []Trace {
+func Figure9(r *exp.Runner, count int) []Trace {
 	sweep := exp.Sweep{
 		Impls:      mpiimpl.WithTCP,
 		Tunings:    []exp.Tuning{{TCP: true, MPI: true}},
@@ -222,7 +222,7 @@ func Figure9(count int) []Trace {
 		Workloads:  []exp.Workload{exp.TraceWorkload(1<<20, count)},
 	}
 	var traces []Trace
-	for _, res := range exp.NewRunner(0).RunSweep(sweep) {
+	for _, res := range r.RunSweep(sweep) {
 		if res.Err != "" {
 			panic("core: figure9/" + res.Exp.Impl + ": " + res.Err)
 		}
@@ -247,15 +247,9 @@ var thresholdCandidates = []int{128 << 10, 1 << 20, 8 << 20, 32 << 20, 65 << 20}
 // placement and reports the value minimizing total pingpong time for
 // messages up to 64 MB (receives pre-posted, as the paper's note says).
 // OpenMPI's btl_tcp_eager_limit is capped at 32 MB, so its sweep stops
-// there.
-func Table5(reps int) []ThresholdRow { return Table5Workers(reps, 0) }
-
-// Table5Workers is Table5 with an explicit worker-pool size for the
-// underlying threshold sweep (0 = one worker per CPU). The selection is
-// independent of the worker count.
-func Table5Workers(reps, workers int) []ThresholdRow {
+// there. The selection is independent of the runner's worker count.
+func Table5(runner *exp.Runner, reps int) []ThresholdRow {
 	sweepSizes := []int{256 << 10, 1 << 20, 8 << 20, 48 << 20}
-	runner := exp.NewRunner(workers)
 
 	// Expand every (impl, placement, candidate) cell into one experiment.
 	var exps []exp.Experiment

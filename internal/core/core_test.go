@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/mpiimpl"
 	"repro/internal/perf"
 )
@@ -11,6 +12,11 @@ import (
 // testReps keeps unit tests fast; the cmd tools and benches use the
 // paper's 200.
 const testReps = 20
+
+// testRunner is shared by every generator test in the package: the
+// generators are pure functions of their experiments, so sharing one
+// fingerprint cache across (parallel) tests only removes duplicate work.
+var testRunner = exp.NewRunner(0)
 
 func maxMbps(pts []perf.Point) float64 {
 	best := 0.0
@@ -26,7 +32,7 @@ func maxMbps(pts []perf.Point) float64 {
 // ~120 Mbps, and the per-implementation buffer behaviours order the curves
 // TCP/MPICH2/Madeleine (~120) > OpenMPI (~88) > GridMPI (~60).
 func TestFigure3Shape(t *testing.T) {
-	fig := Figure3(testReps)
+	fig := Figure3(testRunner, testReps)
 	for _, s := range fig.Series {
 		if got := maxMbps(s.Points); got > 120 {
 			t.Errorf("%s reaches %.0f Mbps with default buffers, want <120", s.Label, got)
@@ -53,7 +59,7 @@ func TestFigure3Shape(t *testing.T) {
 // TestFigure5Shape: on the cluster everything reaches the 940 Mbps TCP
 // goodput, with half bandwidth already around 8 kB.
 func TestFigure5Shape(t *testing.T) {
-	fig := Figure5(testReps)
+	fig := Figure5(testRunner, testReps)
 	for _, s := range fig.Series {
 		if got := maxMbps(s.Points); got < 880 || got > 945 {
 			t.Errorf("%s cluster max = %.0f Mbps, want ≈940", s.Label, got)
@@ -76,7 +82,7 @@ func TestFigure5Shape(t *testing.T) {
 // rendezvous dip remains for all but GridMPI; half bandwidth moves out to
 // ~1 MB.
 func TestFigure6Shape(t *testing.T) {
-	fig := Figure6(testReps)
+	fig := Figure6(testRunner, testReps)
 	for _, s := range fig.Series {
 		if got := maxMbps(s.Points); got < 800 || got > 945 {
 			t.Errorf("%s tuned grid max = %.0f Mbps, want ≈900", s.Label, got)
@@ -104,7 +110,7 @@ func TestFigure6Shape(t *testing.T) {
 // TestFigure7Shape: full tuning removes the dips; OpenMPI trails slightly
 // on big messages (fragment pipeline).
 func TestFigure7Shape(t *testing.T) {
-	fig := Figure7(testReps)
+	fig := Figure7(testRunner, testReps)
 	for _, s := range fig.Series {
 		// No dips: crossing 256 kB → 512 kB must not lose >5%.
 		b, a := fig.At(s.Label, 256<<10), fig.At(s.Label, 512<<10)
@@ -125,7 +131,7 @@ func TestFigure7Shape(t *testing.T) {
 // TestTable4 reproduces the latency table within a microsecond-scale
 // tolerance.
 func TestTable4(t *testing.T) {
-	rows := Table4(testReps)
+	rows := Table4(testRunner, testReps)
 	want := map[string]struct{ cluster, grid time.Duration }{
 		mpiimpl.RawTCP:    {41 * time.Microsecond, 5812 * time.Microsecond},
 		mpiimpl.MPICH2:    {46 * time.Microsecond, 5818 * time.Microsecond},
@@ -153,7 +159,7 @@ func TestTable4(t *testing.T) {
 // TestFigure9Shape: all traces ramp to a 1 MB-message plateau (~500-580
 // Mbps); GridMPI (paced) gets there several times faster than MPICH2.
 func TestFigure9Shape(t *testing.T) {
-	traces := Figure9(200)
+	traces := Figure9(testRunner, 200)
 	byLabel := make(map[string][]perf.TracePoint)
 	for _, tr := range traces {
 		byLabel[tr.Label] = tr.Points
@@ -179,7 +185,7 @@ func TestFigure9Shape(t *testing.T) {
 // 64 MB, so the swept ideal is 65 MB (32 MB for OpenMPI's capped
 // parameter), and GridMPI needs no change.
 func TestTable5(t *testing.T) {
-	rows := Table5(5)
+	rows := Table5(testRunner, 5)
 	want := map[string]ThresholdRow{
 		mpiimpl.MPICH2:    {Original: "256 kB", Cluster: "65 MB", Grid: "65 MB"},
 		mpiimpl.GridMPI:   {Original: "inf", Cluster: "-", Grid: "-"},

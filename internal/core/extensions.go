@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exp"
 	"repro/internal/mpiimpl"
 	"repro/internal/perf"
 	"repro/internal/tables"
-	"repro/internal/tcpsim"
 )
 
 // The experiments in this file go beyond the paper's figures: they cover
@@ -26,16 +26,18 @@ type StreamsPoint struct {
 // k streams carry k windows, multiplying the window-limited bandwidth —
 // the reason MPICH-G2's "support for large messages using several TCP
 // streams" (§2.1.5) matters on unconfigured grids.
-func ExtensionMPICHG2(reps int) []StreamsPoint {
+func ExtensionMPICHG2(r *exp.Runner, reps int) []StreamsPoint {
 	sizes := []int{1 << 20, 4 << 20, 16 << 20, 64 << 20}
 	measure := func(impl string) []perf.Point {
-		k, w := NewPingPongWorld(impl, false, false, Grid)
-		defer k.Close()
-		pts, err := perf.PingPong(w, sizes, reps)
-		if err != nil {
-			panic("core: extension-g2: " + err.Error())
+		res := r.Run(exp.Experiment{
+			Impl:     impl,
+			Topology: Grid.Topology(),
+			Workload: exp.PingPongWorkload(sizes, reps),
+		})
+		if res.Err != "" {
+			panic("core: extension-g2: " + res.Err)
 		}
-		return pts
+		return res.Points
 	}
 	mp := measure(mpiimpl.MPICH2)
 	g2 := measure(mpiimpl.MPICHG2)
@@ -71,23 +73,24 @@ type BufferPoint struct {
 // the socket-buffer size, showing the window-limited regime (bandwidth ∝
 // buffer/RTT) up to the ≈1.45 MB bandwidth-delay product and the line-rate
 // plateau beyond it.
-func BufferSweep(reps int) []BufferPoint {
+func BufferSweep(r *exp.Runner, reps int) []BufferPoint {
 	bufs := []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20}
-	out := make([]BufferPoint, 0, len(bufs))
-	for _, buf := range bufs {
-		k, w := NewPingPongWorld(mpiimpl.RawTCP, true, false, Grid)
-		// Override the tuned stack with an explicit buffer of this size.
-		cfg := w.TCP
-		cfg.RmemMax = buf
-		cfg.WmemMax = buf
-		w.TCP = cfg
-		w.Prof = w.Prof.WithBuffers(tcpsim.BufferPolicy{Explicit: buf})
-		pts, err := perf.PingPong(w, []int{64 << 20}, reps)
-		k.Close()
-		if err != nil {
-			panic("core: buffer sweep: " + err.Error())
+	exps := make([]exp.Experiment, len(bufs))
+	for i, buf := range bufs {
+		exps[i] = exp.Experiment{
+			Impl:         mpiimpl.RawTCP,
+			Tuning:       exp.Tuning{TCP: true},
+			Topology:     Grid.Topology(),
+			Workload:     exp.PingPongWorkload([]int{64 << 20}, reps),
+			SocketBuffer: buf,
 		}
-		out = append(out, BufferPoint{BufferBytes: buf, Mbps: pts[0].Mbps})
+	}
+	out := make([]BufferPoint, 0, len(bufs))
+	for i, res := range r.RunAll(exps) {
+		if res.Err != "" {
+			panic("core: buffer sweep: " + res.Err)
+		}
+		out = append(out, BufferPoint{BufferBytes: bufs[i], Mbps: res.Points[0].Mbps})
 	}
 	return out
 }

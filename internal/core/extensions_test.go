@@ -9,7 +9,7 @@ import (
 // TestExtensionMPICHG2 checks the parallel-streams payoff: on an untuned
 // WAN, four streams multiply the window-limited bandwidth severalfold.
 func TestExtensionMPICHG2(t *testing.T) {
-	pts := ExtensionMPICHG2(10)
+	pts := ExtensionMPICHG2(testRunner, 10)
 	last := pts[len(pts)-1] // 64 MB
 	gain := last.MPICHG2Mbps / last.MPICH2Mbps
 	if gain < 2.5 {
@@ -26,7 +26,7 @@ func TestExtensionMPICHG2(t *testing.T) {
 // TestBufferSweep checks the §4.2.1 ablation: bandwidth grows with the
 // buffer until the BDP (~1.45 MB), then plateaus at line rate.
 func TestBufferSweep(t *testing.T) {
-	pts := BufferSweep(10)
+	pts := BufferSweep(testRunner, 10)
 	for i := 1; i < len(pts); i++ {
 		if pts[i].Mbps+30 < pts[i-1].Mbps {
 			t.Errorf("bandwidth decreased with larger buffers: %v -> %v Mbps at %d B",

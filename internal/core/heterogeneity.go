@@ -4,13 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/mpi"
 	"repro/internal/mpiimpl"
-	"repro/internal/netsim"
-	"repro/internal/perf"
-	"repro/internal/sim"
 	"repro/internal/tables"
-	"repro/internal/tcpsim"
 )
 
 // This file implements the paper's second future-work thread (§5):
@@ -51,18 +48,47 @@ type HeterogeneityPoint struct {
 
 // ExtensionHeterogeneity measures intra-cluster pingpongs over high-speed
 // fabrics reached through a Madeleine-style gateway with increasing
-// per-message overheads, against the plain TCP/Ethernet baseline.
-func ExtensionHeterogeneity(reps int) []HeterogeneityPoint {
-	baseLat, baseBW := fabricPingpong(GigabitEthernetFabric, 0, reps)
+// per-message overheads, against the plain TCP/Ethernet baseline. Every
+// (fabric, gateway) cell is one fabric-workload experiment on the shared
+// runner.
+func ExtensionHeterogeneity(r *exp.Runner, reps int) []HeterogeneityPoint {
+	gateways := []time.Duration{0, 10 * time.Microsecond, 40 * time.Microsecond, 160 * time.Microsecond}
+	var exps []exp.Experiment
+	fabricExp := func(f Fabric, gw time.Duration) exp.Experiment {
+		return exp.Experiment{
+			Impl: mpiimpl.Madeleine,
+			// The eager/rendezvous switch is tuned away per Table 5.
+			EagerThreshold: mpi.Infinite,
+			Workload:       exp.FabricWorkload(f.OneWay, f.Rate, f.StackOverhead, gw, []int{1, 1 << 20}, reps),
+		}
+	}
+	exps = append(exps, fabricExp(GigabitEthernetFabric, 0))
+	for _, fabric := range []Fabric{MyrinetFabric, InfinibandFabric} {
+		for _, gw := range gateways {
+			exps = append(exps, fabricExp(fabric, gw))
+		}
+	}
+	results := r.RunAll(exps)
+	measure := func(i int) (time.Duration, float64) {
+		res := results[i]
+		if res.Err != "" {
+			panic("core: heterogeneity: " + res.Err)
+		}
+		return res.Points[0].OneWay(), res.Points[1].Mbps
+	}
+
+	baseLat, baseBW := measure(0)
 	out := []HeterogeneityPoint{{
 		Fabric:    GigabitEthernetFabric.Name,
 		Latency1B: baseLat,
 		Mbps1MB:   baseBW,
 		BeatsTCP:  true,
 	}}
+	i := 1
 	for _, fabric := range []Fabric{MyrinetFabric, InfinibandFabric} {
-		for _, gw := range []time.Duration{0, 10 * time.Microsecond, 40 * time.Microsecond, 160 * time.Microsecond} {
-			lat, bw := fabricPingpong(fabric, gw, reps)
+		for _, gw := range gateways {
+			lat, bw := measure(i)
+			i++
 			out = append(out, HeterogeneityPoint{
 				Fabric:          fabric.Name,
 				GatewayOverhead: gw,
@@ -73,30 +99,6 @@ func ExtensionHeterogeneity(reps int) []HeterogeneityPoint {
 		}
 	}
 	return out
-}
-
-// fabricPingpong builds a two-node cluster on the fabric and measures a
-// 1 B latency and 1 MB bandwidth pingpong. The gateway overhead is charged
-// per message at the sender (the Madeleine gateway model).
-func fabricPingpong(f Fabric, gateway time.Duration, reps int) (time.Duration, float64) {
-	k := sim.New(1)
-	defer k.Close()
-	net := netsim.New()
-	net.AddSite("local", 2, 1.0, f.Rate, f.OneWay)
-	hosts := net.SiteHosts("local")
-
-	cfg := tcpsim.Tuned4MB()
-	cfg.HostOverhead = f.StackOverhead
-	prof := mpiimpl.Profile(mpiimpl.Madeleine)
-	prof.EagerThreshold = mpi.Infinite // tuned per Table 5
-	prof.OverheadLocal += gateway
-
-	w := mpi.NewWorld(k, net, cfg, prof, hosts)
-	pts, err := perf.PingPong(w, []int{1, 1 << 20}, reps)
-	if err != nil {
-		panic("core: heterogeneity: " + err.Error())
-	}
-	return pts[0].OneWay(), pts[1].Mbps
 }
 
 // RenderExtensionHeterogeneity formats the gateway experiment.

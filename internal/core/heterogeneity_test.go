@@ -9,7 +9,7 @@ import (
 // high-speed fabric pays off as long as the gateway overhead stays below
 // the TCP cost it replaces.
 func TestExtensionHeterogeneity(t *testing.T) {
-	pts := ExtensionHeterogeneity(10)
+	pts := ExtensionHeterogeneity(testRunner, 10)
 	if pts[0].Fabric != GigabitEthernetFabric.Name {
 		t.Fatal("first row must be the TCP/GbE baseline")
 	}

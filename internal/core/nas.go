@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/mpiimpl"
 	"repro/internal/npb"
 )
@@ -54,27 +55,63 @@ func (f NASFigure) At(bench, impl string) (float64, bool) {
 	return f.Values[bench][impl], false
 }
 
+// npbExperiment maps a benchmark job onto the experiment engine's axes:
+// a SingleCluster NP-rank job is NP nodes in Rennes, a TwoClusters job
+// is NP/2 nodes each in Rennes and Nancy across the WAN, always at the
+// §4.2 TCP tuning level (the study tunes first, then runs the
+// applications).
+func npbExperiment(bench, impl string, np int, placement npb.Placement, scale float64, timeout time.Duration) exp.Experiment {
+	topo := exp.Cluster(np)
+	if placement == npb.TwoClusters {
+		topo = exp.Grid(np / 2)
+	}
+	wl := exp.NPBWorkload(bench, scale)
+	wl.Timeout = timeout
+	return exp.Experiment{
+		Impl:     impl,
+		Tuning:   exp.Tuning{TCP: true},
+		Topology: topo,
+		Workload: wl,
+	}
+}
+
 // implComparison runs every implementation on every benchmark at one
 // (np, placement) and reports times relative to MPICH2 (T_ref/T_impl).
-func implComparison(name, title string, np int, placement npb.Placement, scale float64) NASFigure {
+// The MPICH2 references run first (their elapsed time defines every
+// other implementation's DNF budget), then all remaining cells fan out
+// across the runner's pool.
+func implComparison(r *exp.Runner, name, title string, np int, placement npb.Placement, scale float64) NASFigure {
 	fig := newNASFigure(name, title)
+	refExps := make([]exp.Experiment, len(npb.Names))
+	for i, bench := range npb.Names {
+		refExps[i] = npbExperiment(bench, mpiimpl.MPICH2, np, placement, scale, 0)
+	}
+	refs := make(map[string]exp.Result, len(npb.Names))
+	for i, res := range r.RunAll(refExps) {
+		if res.Err != "" {
+			panic("core: " + name + ": " + res.Err)
+		}
+		refs[npb.Names[i]] = res
+		fig.set(npb.Names[i], mpiimpl.MPICH2, 1.0, res.DNF)
+	}
+
+	var exps []exp.Experiment
 	for _, bench := range npb.Names {
-		ref := npb.Run(npb.Job{
-			Bench: bench, Impl: mpiimpl.MPICH2, NP: np,
-			Placement: placement, Scale: scale,
-		})
-		fig.set(bench, mpiimpl.MPICH2, 1.0, ref.DNF)
 		for _, impl := range mpiimpl.All {
 			if impl == mpiimpl.MPICH2 {
 				continue
 			}
-			res := npb.Run(npb.Job{
-				Bench: bench, Impl: impl, NP: np,
-				Placement: placement, Scale: scale,
-				Timeout: ref.Elapsed * DNFBudgetFactor,
-			})
-			fig.set(bench, impl, ref.Elapsed.Seconds()/res.Elapsed.Seconds(), res.DNF)
+			exps = append(exps, npbExperiment(bench, impl, np, placement, scale,
+				refs[bench].Elapsed*DNFBudgetFactor))
 		}
+	}
+	for _, res := range r.RunAll(exps) {
+		if res.Err != "" {
+			panic("core: " + name + ": " + res.Err)
+		}
+		bench := res.Exp.Workload.Bench
+		ref := refs[bench]
+		fig.set(bench, res.Exp.Impl, ref.Elapsed.Seconds()/res.Elapsed.Seconds(), res.DNF)
 	}
 	return fig
 }
@@ -82,54 +119,67 @@ func implComparison(name, title string, np int, placement npb.Placement, scale f
 // Figure10 compares the four implementations on 8+8 nodes across the WAN,
 // relative to MPICH2 (the paper's Figure 10; MPICH-Madeleine DNFs on BT
 // and SP).
-func Figure10(scale float64) NASFigure {
-	return implComparison("figure10",
+func Figure10(r *exp.Runner, scale float64) NASFigure {
+	return implComparison(r, "figure10",
 		"NPB class B, 8-8 nodes between two clusters, relative to MPICH2",
 		16, npb.TwoClusters, scale)
 }
 
 // Figure11 is the same comparison on 2+2 nodes.
-func Figure11(scale float64) NASFigure {
-	return implComparison("figure11",
+func Figure11(r *exp.Runner, scale float64) NASFigure {
+	return implComparison(r, "figure11",
 		"NPB class B, 2-2 nodes between two clusters, relative to MPICH2",
 		4, npb.TwoClusters, scale)
 }
 
 // gridVsCluster computes per implementation T(cluster with npCluster
 // nodes) / T(8+8 grid): Figure 12 (npCluster=16) and Figure 13
-// (npCluster=4).
-func gridVsCluster(name, title string, npCluster int, scale float64) NASFigure {
+// (npCluster=4). Cluster references run first and bound the grid runs'
+// DNF budgets.
+func gridVsCluster(r *exp.Runner, name, title string, npCluster int, scale float64) NASFigure {
 	fig := newNASFigure(name, title)
+	type cell struct{ bench, impl string }
+	var clExps []exp.Experiment
+	var cells []cell
 	for _, bench := range npb.Names {
 		for _, impl := range mpiimpl.All {
-			cl := npb.Run(npb.Job{
-				Bench: bench, Impl: impl, NP: npCluster,
-				Placement: npb.SingleCluster, Scale: scale,
-			})
-			budget := time.Duration(float64(cl.Elapsed) * 4 * DNFBudgetFactor)
-			gr := npb.Run(npb.Job{
-				Bench: bench, Impl: impl, NP: 16,
-				Placement: npb.TwoClusters, Scale: scale,
-				Timeout: budget,
-			})
-			fig.set(bench, impl, cl.Elapsed.Seconds()/gr.Elapsed.Seconds(), cl.DNF || gr.DNF)
+			clExps = append(clExps, npbExperiment(bench, impl, npCluster, npb.SingleCluster, scale, 0))
+			cells = append(cells, cell{bench, impl})
 		}
+	}
+	clusters := make(map[cell]exp.Result, len(cells))
+	grExps := make([]exp.Experiment, len(cells))
+	for i, res := range r.RunAll(clExps) {
+		if res.Err != "" {
+			panic("core: " + name + ": " + res.Err)
+		}
+		clusters[cells[i]] = res
+		budget := time.Duration(float64(res.Elapsed) * 4 * DNFBudgetFactor)
+		grExps[i] = npbExperiment(cells[i].bench, cells[i].impl, 16, npb.TwoClusters, scale, budget)
+	}
+	for i, res := range r.RunAll(grExps) {
+		if res.Err != "" {
+			panic("core: " + name + ": " + res.Err)
+		}
+		cl := clusters[cells[i]]
+		fig.set(cells[i].bench, cells[i].impl,
+			cl.Elapsed.Seconds()/res.Elapsed.Seconds(), cl.DNF || res.DNF)
 	}
 	return fig
 }
 
 // Figure12 compares 16 nodes on one cluster against 8+8 across the WAN,
 // per implementation (values ≤ 1: the grid always costs something).
-func Figure12(scale float64) NASFigure {
-	return gridVsCluster("figure12",
+func Figure12(r *exp.Runner, scale float64) NASFigure {
+	return gridVsCluster(r, "figure12",
 		"NPB class B: T(16 nodes, one cluster) / T(8-8 nodes, two clusters)",
 		16, scale)
 }
 
 // Figure13 compares 4 local nodes against 16 grid nodes: the speedup of
 // quadrupling resources across a WAN (ideal 4).
-func Figure13(scale float64) NASFigure {
-	return gridVsCluster("figure13",
+func Figure13(r *exp.Runner, scale float64) NASFigure {
+	return gridVsCluster(r, "figure13",
 		"NPB class B: T(4 nodes, one cluster) / T(8-8 nodes, two clusters)",
 		4, scale)
 }
@@ -147,29 +197,32 @@ type CensusRow struct {
 
 // Table2 regenerates the NPB communication census by running each
 // benchmark on a 16-rank cluster and reading the message statistics.
-func Table2(scale float64) []CensusRow {
+func Table2(r *exp.Runner, scale float64) []CensusRow {
+	exps := make([]exp.Experiment, len(npb.Names))
+	for i, bench := range npb.Names {
+		exps[i] = npbExperiment(bench, mpiimpl.MPICH2, 16, npb.SingleCluster, scale, 0)
+	}
 	rows := make([]CensusRow, 0, len(npb.Names))
-	for _, bench := range npb.Names {
-		res := npb.Run(npb.Job{
-			Bench: bench, Impl: mpiimpl.MPICH2, NP: 16,
-			Placement: npb.SingleCluster, Scale: scale,
-		})
-		s := res.Stats
+	for i, res := range r.RunAll(exps) {
+		if res.Err != "" {
+			panic("core: table2: " + res.Err)
+		}
+		c := res.Census
 		row := CensusRow{
-			Bench:      bench,
+			Bench:      npb.Names[i],
 			Type:       "point-to-point",
-			P2PSends:   s.P2PSends,
-			P2PBytes:   s.P2PBytes,
+			P2PSends:   c.P2PSends,
+			P2PBytes:   c.P2PBytes,
 			Collective: make(map[string]int64),
 		}
-		if census := s.SizeCensus(); len(census) > 0 {
-			row.SmallestB = census[0].Size
-			row.LargestB = census[len(census)-1].Size
+		if len(c.Sizes) > 0 {
+			row.SmallestB = c.Sizes[0].Size
+			row.LargestB = c.Sizes[len(c.Sizes)-1].Size
 		}
-		for _, op := range s.CollOps() {
-			row.Collective[op] = s.CollCalls(op)
+		for _, coll := range c.Collectives {
+			row.Collective[coll.Op] = coll.Calls
 		}
-		if s.P2PSends == 0 {
+		if c.P2PSends == 0 {
 			row.Type = "collective"
 		}
 		rows = append(rows, row)

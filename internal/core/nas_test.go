@@ -28,7 +28,7 @@ func nasScale(t *testing.T) float64 {
 // on the collective benchmarks, and MPICH-Madeleine DNFs on BT and SP.
 func TestFigure10Shape(t *testing.T) {
 	t.Parallel()
-	fig := Figure10(nasScale(t))
+	fig := Figure10(testRunner, nasScale(t))
 	// Madeleine's DNFs.
 	for _, bench := range []string{"BT", "SP"} {
 		if _, dnf := fig.At(bench, mpiimpl.Madeleine); !dnf {
@@ -67,7 +67,7 @@ func TestFigure10Shape(t *testing.T) {
 // margins.
 func TestFigure11Shape(t *testing.T) {
 	t.Parallel()
-	fig := Figure11(nasScale(t))
+	fig := Figure11(testRunner, nasScale(t))
 	if ft, dnf := fig.At("FT", mpiimpl.GridMPI); dnf || ft < 1.1 {
 		t.Errorf("GridMPI FT on 2+2 = %.2f (dnf=%v), want ≥1.1", ft, dnf)
 	}
@@ -82,7 +82,7 @@ func TestFigure11Shape(t *testing.T) {
 // point-to-point codes tolerate the WAN; CG, MG and IS suffer most.
 func TestFigure12Shape(t *testing.T) {
 	t.Parallel()
-	fig := Figure12(nasScale(t))
+	fig := Figure12(testRunner, nasScale(t))
 	g := func(bench string) float64 {
 		v, dnf := fig.At(bench, mpiimpl.GridMPI)
 		if dnf {
@@ -118,7 +118,7 @@ func TestFigure12Shape(t *testing.T) {
 // for the latency-bound codes.
 func TestFigure13Shape(t *testing.T) {
 	t.Parallel()
-	fig := Figure13(nasScale(t))
+	fig := Figure13(testRunner, nasScale(t))
 	for _, bench := range fig.Benchmarks {
 		v, dnf := fig.At(bench, mpiimpl.GridMPI)
 		if dnf {
@@ -144,7 +144,7 @@ func TestFigure13Shape(t *testing.T) {
 }
 
 func TestTable2Summary(t *testing.T) {
-	rows := Table2(0.05)
+	rows := Table2(testRunner, 0.05)
 	if len(rows) != 8 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -179,7 +179,7 @@ func TestTable1Features(t *testing.T) {
 // master) is never worse than remote masters for the same cluster.
 func TestTable6Shape(t *testing.T) {
 	t.Parallel()
-	tab := Table6(0.1)
+	tab := Table6(testRunner, 0.1)
 	for _, master := range tab.Masters {
 		s := tab.Rays[grid5000.Sophia][master]
 		for _, cluster := range tab.Clusters {
@@ -206,7 +206,7 @@ func TestTable6Shape(t *testing.T) {
 // locations; merge and total vary only slightly.
 func TestTable7Shape(t *testing.T) {
 	t.Parallel()
-	tab := Table7(0.1)
+	tab := Table7(testRunner, 0.1)
 	var minC, maxC float64
 	for i, m := range tab.Masters {
 		c := tab.Comp[m].Seconds()

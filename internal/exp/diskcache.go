@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is a persistent backing layer for a Runner's in-memory result
+// cache, keyed by experiment fingerprint. Implementations must be safe
+// for concurrent use; a Load that cannot produce a trustworthy result
+// reports a miss rather than an error (the Runner simply re-runs).
+type Store interface {
+	Load(fingerprint string) (Result, bool)
+	Store(fingerprint string, res Result) error
+}
+
+// DiskCache is a content-addressed, persistent experiment-result store:
+// one JSON file per experiment fingerprint under a single directory.
+// Because every Result is a pure function of its Experiment and the
+// fingerprint is a stable content hash of the experiment definition, a
+// cache directory can be reused across processes — and shared between
+// cmd/gridrepro, cmd/sweep and cmd/gridsim invocations, or sharded
+// across machines — without ever serving a result for the wrong
+// configuration.
+//
+// Writes go to a temporary file in the same directory followed by an
+// atomic rename, so a crashed or concurrent writer can never leave a
+// half-written entry behind under the final name. Corrupt, truncated or
+// mismatched entries (e.g. from an older experiment schema whose
+// fingerprints collide textually) are treated as misses and silently
+// re-run, then overwritten with a fresh entry.
+type DiskCache struct {
+	dir string
+}
+
+// NewDiskCache opens (creating if necessary) a cache directory.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("exp: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// path is the entry file for one fingerprint.
+func (c *DiskCache) path(fp string) string {
+	return filepath.Join(c.dir, fp+".json")
+}
+
+// Load reads one entry. Any defect — missing file, unparsable JSON, or
+// an entry whose stored experiment does not hash back to the requested
+// fingerprint — is a miss.
+func (c *DiskCache) Load(fp string) (Result, bool) {
+	blob, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		return Result{}, false
+	}
+	var res Result
+	if err := json.Unmarshal(blob, &res); err != nil {
+		return Result{}, false
+	}
+	if res.Exp.Fingerprint() != fp {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// Store writes one entry atomically: marshal, write to a temp file in
+// the cache directory, rename over the final name.
+func (c *DiskCache) Store(fp string, res Result) error {
+	blob, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return fmt.Errorf("exp: marshal cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, fp+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("exp: cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: write cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: close cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(fp)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: commit cache entry: %w", err)
+	}
+	return nil
+}
+
+// Len counts the committed entries in the cache directory.
+func (c *DiskCache) Len() (int, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

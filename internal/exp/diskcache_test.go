@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/mpiimpl"
+)
+
+func entryPath(dir string, e Experiment) string {
+	return filepath.Join(dir, e.Fingerprint()+".json")
+}
+
+// TestDiskCacheRoundTrip: a result computed by one runner is served,
+// byte-identical and marked Cached, to a fresh runner sharing the cache
+// directory — the cross-process persistence the in-memory cache lacks.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tinyPingPong(mpiimpl.GridMPI, Tuning{TCP: true})
+
+	first := NewRunnerStore(2, store).Run(e)
+	if first.Cached {
+		t.Error("first run reported a cache hit")
+	}
+	if _, err := os.Stat(entryPath(dir, e)); err != nil {
+		t.Fatalf("no cache entry written: %v", err)
+	}
+
+	r2 := NewRunnerStore(2, store)
+	second := r2.Run(e)
+	if !second.Cached {
+		t.Error("fresh runner did not hit the disk cache")
+	}
+	if got := r2.CacheStats(); got.Disk != 1 || got.Computed != 0 {
+		t.Errorf("stats = %+v, want exactly one disk load and nothing computed", got)
+	}
+	a := MarshalResults([]Result{first})
+	b := MarshalResults([]Result{second})
+	if !bytes.Equal(a, b) {
+		t.Errorf("disk round trip changed the result:\n%s\nvs\n%s", a, b)
+	}
+	// A repeat on the same runner is a memory serve, not a second load.
+	r2.Run(e)
+	if got := r2.CacheStats(); got.Memory != 1 || got.Disk != 1 {
+		t.Errorf("stats after repeat = %+v, want one memory serve", got)
+	}
+}
+
+// TestDiskCacheCorruptEntriesAreMisses: garbage, truncated JSON, and
+// entries whose stored experiment does not hash back to the requested
+// fingerprint are all re-run (and the entry repaired), never trusted.
+func TestDiskCacheCorruptEntriesAreMisses(t *testing.T) {
+	e := tinyPingPong(mpiimpl.MPICH2, Tuning{TCP: true})
+	good := Run(e)
+	blob := MarshalResults([]Result{good})
+
+	cases := map[string][]byte{
+		"garbage":     []byte("not json at all"),
+		"truncated":   blob[:len(blob)/2],
+		"empty":       {},
+		"wrong-exp":   []byte(`{"experiment":{"impl":"MPICH2","tuning":{"tcp":false,"mpi":false},"topology":{"sites":["rennes"],"nodes_per_site":2},"workload":{"kind":"pingpong","sizes":[4],"reps":1}},"elapsed":1,"census":{}}`),
+		"wrong-shape": []byte(`[1,2,3]`),
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			store, err := NewDiskCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(entryPath(dir, e), corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := store.Load(e.Fingerprint()); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			r := NewRunnerStore(1, store)
+			res := r.Run(e)
+			if res.Cached {
+				t.Error("corrupt entry was served from cache")
+			}
+			if got := r.CacheStats(); got.Computed != 1 || got.Disk != 0 {
+				t.Errorf("stats = %+v, want a recompute", got)
+			}
+			// The recompute must repair the entry in place.
+			if repaired, ok := store.Load(e.Fingerprint()); !ok {
+				t.Error("entry not repaired after recompute")
+			} else if !bytes.Equal(MarshalResults([]Result{repaired}), MarshalResults([]Result{good})) {
+				t.Error("repaired entry differs from a direct run")
+			}
+		})
+	}
+}
+
+// TestDiskCacheConcurrentSingleExecution hammers one fingerprint through
+// a store-backed runner: the experiment runs once, one entry lands on
+// disk, and every caller gets the same bytes.
+func TestDiskCacheConcurrentSingleExecution(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerStore(4, store)
+	e := tinyPingPong(mpiimpl.OpenMPI, Tuning{TCP: true})
+	results := make([]Result, 16)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run(e)
+		}(i)
+	}
+	wg.Wait()
+	if got := r.CacheStats(); got.Computed != 1 {
+		t.Errorf("experiment executed %d times, want exactly once", got.Computed)
+	}
+	ref := MarshalResults([]Result{results[0]})
+	for i, res := range results {
+		if got := MarshalResults([]Result{res}); !bytes.Equal(got, ref) {
+			t.Fatalf("goroutine %d saw different result bytes", i)
+		}
+	}
+	if n, err := store.Len(); err != nil || n != 1 {
+		t.Errorf("store holds %d entries (err=%v), want 1", n, err)
+	}
+}
+
+// TestDiskCacheSkipsFailedRuns: an Err result describes this process,
+// not a measurement; it must not be persisted (a later run may not share
+// the defect), while still being served from the in-memory cache.
+func TestDiskCacheSkipsFailedRuns(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerStore(1, store)
+	bad := Experiment{Impl: "LAM/MPI", Topology: Grid(1), Workload: PingPongWorkload(tinySizes, 1)}
+	if res := r.Run(bad); res.Err == "" {
+		t.Fatal("bogus implementation did not fail")
+	}
+	if n, _ := store.Len(); n != 0 {
+		t.Errorf("failed run persisted: %d entries", n)
+	}
+	if res := r.Run(bad); !res.Cached {
+		t.Error("failed run not served from the in-memory cache")
+	}
+}
+
+// TestNewDiskCacheRejectsEmptyDir: an unset -cache flag must be handled
+// by the caller, never turned into a cache rooted at "".
+func TestNewDiskCacheRejectsEmptyDir(t *testing.T) {
+	if _, err := NewDiskCache(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

@@ -148,6 +148,7 @@ const (
 	KindPattern  = "pattern"  // an SPMD communication pattern on all hosts
 	KindNPB      = "npb"      // one NAS Parallel Benchmark skeleton
 	KindRay2Mesh = "ray2mesh" // the §4.4 seismic ray-tracing application
+	KindFabric   = "fabric"   // §5 heterogeneity: pingpong on a custom local fabric
 )
 
 // Workload is a tagged union selected by Kind; unrelated fields are left
@@ -176,6 +177,17 @@ type Workload struct {
 	Timeout time.Duration `json:"timeout,omitempty"`
 	// Master is the ray2mesh master site.
 	Master string `json:"master,omitempty"`
+	// FabricOneWay, FabricRate and FabricStack describe the custom
+	// intra-cluster interconnect of a fabric workload: switch+wire
+	// one-way delay, link rate in bytes/second, and per-endpoint
+	// software overhead (OS-bypass fabrics are far cheaper than the
+	// kernel TCP stack).
+	FabricOneWay time.Duration `json:"fabric_one_way,omitempty"`
+	FabricRate   float64       `json:"fabric_rate,omitempty"`
+	FabricStack  time.Duration `json:"fabric_stack,omitempty"`
+	// Gateway is the per-message MPICH-Madeleine-style gateway overhead
+	// charged at the sender of a fabric workload.
+	Gateway time.Duration `json:"gateway,omitempty"`
 }
 
 // PingPongWorkload is the §3.1 measurement: reps round trips per size,
@@ -209,6 +221,25 @@ func Ray2MeshWorkload(master string, scale float64) Workload {
 	return Workload{Kind: KindRay2Mesh, Master: master, Scale: scale}
 }
 
+// FabricWorkload is the §5 heterogeneity experiment: a two-node pingpong
+// over a custom local interconnect reached through a gateway with the
+// given per-message overhead. The workload owns its stack — a 4 MB-tuned
+// TCP configuration with the fabric's host overhead and the
+// implementation's stock profile — so the Tuning and Topology axes must
+// be zero (anything else is rejected rather than silently ignored);
+// EagerThreshold applies as usual.
+func FabricWorkload(oneWay time.Duration, rate float64, stack, gateway time.Duration, sizes []int, reps int) Workload {
+	return Workload{
+		Kind:         KindFabric,
+		Sizes:        sizes,
+		Reps:         reps,
+		FabricOneWay: oneWay,
+		FabricRate:   rate,
+		FabricStack:  stack,
+		Gateway:      gateway,
+	}
+}
+
 func (w Workload) String() string {
 	switch w.Kind {
 	case KindPingPong:
@@ -228,6 +259,9 @@ func (w Workload) String() string {
 		return fmt.Sprintf("npb:%s@%g", w.Bench, w.scale())
 	case KindRay2Mesh:
 		return fmt.Sprintf("ray2mesh@%s x%g", w.Master, w.scale())
+	case KindFabric:
+		return fmt.Sprintf("fabric[owd=%v rate=%.0fMB/s gw=%v x%d]",
+			w.FabricOneWay, w.FabricRate/1e6, w.Gateway, w.Reps)
 	}
 	return w.Kind
 }
@@ -255,6 +289,10 @@ type Experiment struct {
 	// EagerThreshold overrides the profile's eager/rendezvous switch when
 	// positive (threshold sweeps, Table 5).
 	EagerThreshold int `json:"eager_threshold,omitempty"`
+	// SocketBuffer, when positive, pins both the kernel socket-buffer
+	// maxima and the implementation's buffer policy to an explicit size
+	// (the §4.2.1 buffer ablation). Applied on top of the Tuning level.
+	SocketBuffer int `json:"socket_buffer,omitempty"`
 }
 
 // normalized resolves the workload's zero-value aliases (Scale 0 means
@@ -434,6 +472,10 @@ func Run(e Experiment) (res Result) {
 		runRay2Mesh(&res)
 		return res
 	}
+	if e.Workload.Kind == KindFabric {
+		runFabric(&res)
+		return res
+	}
 	if len(e.Topology.Sites) == 0 || e.Topology.NodesPerSite < 1 {
 		res.Err = fmt.Sprintf("exp: empty topology %s", e.Topology)
 		return res
@@ -447,6 +489,11 @@ func Run(e Experiment) (res Result) {
 	prof, tcp := mpiimpl.Configure(e.Impl, e.Tuning.TCP, e.Tuning.MPI)
 	if e.EagerThreshold > 0 {
 		prof = prof.WithEagerThreshold(e.EagerThreshold)
+	}
+	if e.SocketBuffer > 0 {
+		tcp.RmemMax = e.SocketBuffer
+		tcp.WmemMax = e.SocketBuffer
+		prof = prof.WithBuffers(tcpsim.BufferPolicy{Explicit: e.SocketBuffer})
 	}
 	k := sim.New(1)
 	defer k.Close()
@@ -538,6 +585,10 @@ func runRay2Mesh(res *Result) {
 		res.Err = "exp: ray2mesh does not support an eager-threshold override"
 		return
 	}
+	if e.SocketBuffer > 0 {
+		res.Err = "exp: ray2mesh does not support a socket-buffer override"
+		return
+	}
 	cfg := ray2mesh.Default(e.Workload.Master).Scaled(e.Workload.scale())
 	cfg.Impl = e.Impl
 	cfg.TCPTuned = e.Tuning.TCP
@@ -554,6 +605,52 @@ func runRay2Mesh(res *Result) {
 	for site, rays := range out.RaysPerNode {
 		res.Metrics["rays_per_node_"+site] = rays
 	}
+}
+
+// runFabric executes the §5 heterogeneity pingpong: two nodes on a
+// custom local interconnect, the implementation's stock profile plus a
+// per-message gateway overhead, over a 4 MB-tuned TCP stack with the
+// fabric's host overhead.
+func runFabric(res *Result) {
+	e := res.Exp
+	w := e.Workload
+	// The fabric workload owns its testbed and stack: reject axis values
+	// that could not be honored.
+	if len(e.Topology.Sites) != 0 || e.Topology.NodesPerSite != 0 {
+		res.Err = fmt.Sprintf("exp: fabric workloads build their own two-node testbed; topology %s cannot be honored — leave it zero", e.Topology)
+		return
+	}
+	if e.Tuning != (Tuning{}) {
+		res.Err = "exp: fabric workloads always run the 4 MB-tuned stack with the stock profile; leave Tuning zero"
+		return
+	}
+	if e.SocketBuffer > 0 {
+		res.Err = "exp: fabric workloads do not support a socket-buffer override"
+		return
+	}
+	if w.FabricRate <= 0 || len(w.Sizes) == 0 || w.Reps < 1 {
+		res.Err = fmt.Sprintf("exp: underspecified fabric workload %s", w)
+		return
+	}
+
+	k := sim.New(1)
+	defer k.Close()
+	net := netsim.New()
+	net.AddSite("local", 2, 1.0, w.FabricRate, w.FabricOneWay)
+
+	cfg := tcpsim.Tuned4MB()
+	cfg.HostOverhead = w.FabricStack
+	prof := mpiimpl.Profile(e.Impl)
+	if e.EagerThreshold > 0 {
+		prof = prof.WithEagerThreshold(e.EagerThreshold)
+	}
+	prof.OverheadLocal += w.Gateway
+
+	world := mpi.NewWorld(k, net, cfg, prof, net.SiteHosts("local"))
+	pts, err := perf.PingPong(world, w.Sizes, w.Reps)
+	res.Points = pts
+	res.Elapsed = k.Now()
+	res.fill(world, err)
 }
 
 // pingpongHosts picks the two endpoints: the first host of the first two

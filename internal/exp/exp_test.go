@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/grid5000"
+	"repro/internal/mpi"
 	"repro/internal/mpiimpl"
 )
 
@@ -200,14 +201,14 @@ func TestRay2MeshWorkload(t *testing.T) {
 	if res.Census.P2PSends == 0 {
 		t.Error("ray2mesh census not recorded")
 	}
-	// Tiny scales clamp to the protocol's floor of one chunk per slave
-	// instead of deadlocking the self-scheduler.
+	// Tiny scales run exactly what they ask for — fewer chunks than
+	// slaves no longer deadlocks (or clamps) the self-scheduler.
 	tiny := Run(Experiment{Impl: mpiimpl.MPICH2, Workload: Ray2MeshWorkload(grid5000.Rennes, 0.001)})
 	if tiny.Err != "" {
-		t.Fatalf("clamped tiny ray2mesh: %s", tiny.Err)
+		t.Fatalf("tiny ray2mesh: %s", tiny.Err)
 	}
-	if tiny.Metrics["total_rays"] != 32000 {
-		t.Errorf("clamped rays = %g, want the 32000 floor", tiny.Metrics["total_rays"])
+	if tiny.Metrics["total_rays"] != 1000 {
+		t.Errorf("tiny-scale rays = %g, want exactly 1000 (no floor)", tiny.Metrics["total_rays"])
 	}
 	if res.Metrics["rays_per_node_"+grid5000.Sophia] <= 0 {
 		t.Error("no per-site ray metrics recorded")
@@ -225,6 +226,10 @@ func TestBadExperimentsReportErr(t *testing.T) {
 		{Impl: "LAM/MPI", Topology: Grid(1), Workload: PingPongWorkload(tinySizes, 1)},
 		{Impl: mpiimpl.MPICH2, Topology: Grid(1), Workload: NPBWorkload("ZZ", 0.1)},
 		{Impl: mpiimpl.MPICH2, Workload: Ray2MeshWorkload("paris", 0.05)},
+		// ray2mesh owns its stack: a socket-buffer override cannot be
+		// honored and must not mint a distinct-fingerprint duplicate of
+		// the unmodified run.
+		{Impl: mpiimpl.MPICH2, Workload: Ray2MeshWorkload(grid5000.Rennes, 0.05), SocketBuffer: 4096},
 		// Topologies that cannot host the workload: empty, and a pingpong
 		// with a single endpoint. Both must come back as Err, not a panic
 		// that would kill a worker pool.
@@ -265,5 +270,45 @@ func TestParseSize(t *testing.T) {
 	}
 	if _, err := ParseSize("12q"); err == nil {
 		t.Error("ParseSize accepted garbage")
+	}
+}
+
+// TestFabricWorkload: the §5 heterogeneity pingpong runs on its own
+// two-node fabric testbed, and axes it cannot honor are rejected.
+func TestFabricWorkload(t *testing.T) {
+	e := Experiment{
+		Impl:           mpiimpl.Madeleine,
+		EagerThreshold: mpi.Infinite,
+		Workload:       FabricWorkload(3*time.Microsecond, 250e6, time.Microsecond, 0, []int{1, 64 << 10}, 3),
+	}
+	res := Run(e)
+	if res.Err != "" {
+		t.Fatalf("fabric run: %s", res.Err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	if lat := res.Points[0].OneWay(); lat <= 0 || lat > 100*time.Microsecond {
+		t.Errorf("1 B fabric latency = %v, want a few microseconds", lat)
+	}
+	// A gateway overhead strictly increases latency.
+	gw := e
+	gw.Workload.Gateway = 40 * time.Microsecond
+	gwRes := Run(gw)
+	if gwRes.Err != "" {
+		t.Fatalf("gateway run: %s", gwRes.Err)
+	}
+	if gwRes.Points[0].OneWay() <= res.Points[0].OneWay() {
+		t.Error("gateway overhead did not increase latency")
+	}
+	// Axes the fabric cannot honor are rejected, not ignored.
+	for name, bad := range map[string]Experiment{
+		"tuning":   {Impl: e.Impl, Tuning: Tuning{TCP: true}, Workload: e.Workload},
+		"topology": {Impl: e.Impl, Topology: Grid(1), Workload: e.Workload},
+		"buffer":   {Impl: e.Impl, SocketBuffer: 1 << 20, Workload: e.Workload},
+	} {
+		if res := Run(bad); res.Err == "" {
+			t.Errorf("fabric experiment with a foreign %s axis was not rejected", name)
+		}
 	}
 }

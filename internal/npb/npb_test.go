@@ -298,3 +298,23 @@ func TestResultTimeoutDefault(t *testing.T) {
 		t.Fatalf("elapsed = %v", res.Elapsed)
 	}
 }
+
+// TestMalformedJobsRefused: a TwoClusters placement builds NP/2 nodes
+// per site, so an odd NP used to drop a rank silently and run a
+// malformed world; it must come back as a clean Err without simulating.
+func TestMalformedJobsRefused(t *testing.T) {
+	res := Run(Job{Bench: "EP", Impl: mpiimpl.MPICH2, NP: 5, Placement: TwoClusters, Scale: 0.01})
+	if res.Err == "" {
+		t.Fatal("odd NP across two clusters was not refused")
+	}
+	if res.Stats != nil || res.Elapsed != 0 || res.DNF {
+		t.Errorf("refused job still simulated: %+v", res)
+	}
+	if res := Run(Job{Bench: "EP", Impl: mpiimpl.MPICH2, NP: 0, Placement: SingleCluster}); res.Err == "" {
+		t.Error("NP=0 was not refused")
+	}
+	// The even split still runs.
+	if res := Run(Job{Bench: "EP", Impl: mpiimpl.MPICH2, NP: 4, Placement: TwoClusters, Scale: 0.01}); res.Err != "" {
+		t.Errorf("even NP refused: %s", res.Err)
+	}
+}

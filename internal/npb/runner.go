@@ -1,6 +1,7 @@
 package npb
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/grid5000"
@@ -40,6 +41,10 @@ type Result struct {
 	// DNF is set when the job hit its timeout, as MPICH-Madeleine does on
 	// grid BT/SP in the paper.
 	DNF bool
+	// Err reports a job that could not run at all (e.g. a TwoClusters
+	// placement whose NP does not split evenly); nothing was simulated
+	// and the other fields are zero.
+	Err string
 	// Stats is the world's communication census.
 	Stats *mpi.Stats
 }
@@ -53,6 +58,15 @@ func Run(job Job) Result {
 	}
 	if job.Timeout == 0 {
 		job.Timeout = time.Hour
+	}
+	if job.NP < 1 {
+		return Result{Job: job, Err: fmt.Sprintf("npb: NP = %d, need at least one rank", job.NP)}
+	}
+	// A TwoClusters world is built as NP/2 nodes per site: an odd NP
+	// would silently drop a rank and run a malformed (NP-1)-rank world
+	// labeled NP. Refuse instead.
+	if job.Placement == TwoClusters && job.NP%2 != 0 {
+		return Result{Job: job, Err: fmt.Sprintf("npb: NP = %d cannot split evenly across two clusters", job.NP)}
 	}
 	prof, tcp := mpiimpl.Configure(job.Impl, true, false)
 	k := sim.New(1)

@@ -69,13 +69,11 @@ func Default(masterSite string) Config {
 }
 
 // Scaled returns the configuration shrunk by factor f (rays and merge
-// volume), for fast tests. The ray count floors at MinRays — one chunk
-// per slave — below which the self-scheduling protocol cannot terminate.
+// volume), for fast tests. Any ray count terminates, including fewer
+// rays than one chunk per slave: slaves the initial round cannot feed
+// receive a done-marker immediately.
 func (c Config) Scaled(f float64) Config {
 	c.Rays = int(float64(c.Rays) * f)
-	if min := c.MinRays(); c.Rays < min {
-		c.Rays = min
-	}
 	c.MergeBytes = int64(float64(c.MergeBytes) * f)
 	return c
 }
@@ -112,12 +110,6 @@ const NodesPerSite = 8
 // one slave (the master shares its first node).
 var Slaves = len(Sites) * NodesPerSite
 
-// MinRays is the smallest ray count the self-scheduling protocol can
-// terminate with: the master's initial round hands one chunk to every
-// slave, and a slave that receives a done-marker there never enters the
-// request loop the master waits on.
-func (c Config) MinRays() int { return c.ChunkRays * Slaves }
-
 // run-local result accounting (chunk grants travel inside the messages
 // themselves via SendPayload).
 type state struct {
@@ -126,13 +118,12 @@ type state struct {
 	compEnd  sim.Time
 }
 
-// Run executes the application on the four-site testbed. It panics when
-// cfg.Rays is below MinRays (the run could never terminate — see
-// MinRays); callers wanting a soft failure check first.
+// Run executes the application on the four-site testbed. Any
+// non-negative ray count terminates (see runMaster's initial-round
+// accounting).
 func Run(cfg Config) Result {
-	if cfg.Rays < cfg.MinRays() {
-		panic(fmt.Sprintf("ray2mesh: %d rays is fewer than the %d (one chunk per slave) the self-scheduler needs to terminate",
-			cfg.Rays, cfg.MinRays()))
+	if cfg.Rays < 0 {
+		panic(fmt.Sprintf("ray2mesh: negative ray count %d", cfg.Rays))
 	}
 	prof, tcp := mpiimpl.Configure(cfg.Impl, cfg.TCPTuned, cfg.MPITuned)
 	k := sim.New(1)
@@ -210,12 +201,19 @@ func runMaster(r *mpi.Rank, st *state, nSlaves int) {
 		r.SendPayload(slave, tagChunk, 1, 0) // empty grant: done marker
 		return false
 	}
-	// Initial round: one chunk per slave.
+	// Initial round: one chunk per slave. A slave that the remaining
+	// rays cannot feed gets its done-marker here and never enters the
+	// request loop, so it must not be counted as active — ignoring
+	// send's verdict in this round is what used to deadlock the master
+	// whenever the ray count gave fewer chunks than slaves.
+	active := 0
 	for s := 1; s <= nSlaves; s++ {
-		send(s)
+		if send(s) {
+			active++
+		}
 	}
 	// Self-scheduling loop: serve requests first come, first served.
-	active := nSlaves
+	// Exactly one request is outstanding per active slave.
 	for active > 0 {
 		req := r.Recv(mpi.AnySource, tagRequest)
 		if !send(req.Source) {

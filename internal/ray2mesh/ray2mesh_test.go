@@ -6,6 +6,37 @@ import (
 	"repro/internal/grid5000"
 )
 
+// TestTerminatesBelowOneChunkPerSlave is the regression test for the
+// self-scheduler deadlock: with fewer chunks than slaves, the master's
+// initial round already hands out done-markers, and counting those
+// slaves as active left it waiting forever on requests that never come.
+// Every ray count must terminate with exact conservation, including a
+// partial final chunk and zero rays.
+func TestTerminatesBelowOneChunkPerSlave(t *testing.T) {
+	for _, rays := range []int{0, 1, 999, 1000, 1234, 5000, 31999} {
+		cfg := Default(grid5000.Rennes)
+		cfg.Rays = rays
+		cfg.MergeBytes = 1 << 20 // keep the merge phase cheap
+		res := Run(cfg)
+		if res.TotalRays != rays {
+			t.Errorf("rays=%d: computed %d, want all of them", rays, res.TotalRays)
+		}
+	}
+}
+
+// TestScaledHasNoFloor: Scaled used to clamp the ray count at one chunk
+// per slave to dodge the deadlock; the fixed protocol needs no clamp.
+func TestScaledHasNoFloor(t *testing.T) {
+	cfg := Default(grid5000.Nancy).Scaled(0.0001)
+	if cfg.Rays != 100 {
+		t.Fatalf("Scaled(0.0001) rays = %d, want exactly 100", cfg.Rays)
+	}
+	res := Run(cfg)
+	if res.TotalRays != cfg.Rays {
+		t.Fatalf("computed %d rays, want %d", res.TotalRays, cfg.Rays)
+	}
+}
+
 func TestRayConservation(t *testing.T) {
 	cfg := Default(grid5000.Rennes).Scaled(0.05)
 	res := Run(cfg)
