@@ -68,6 +68,7 @@ func run(args []string, out, errOut io.Writer) error {
 	quick := fs.Bool("quick", false, "use reduced repetitions and workload scales")
 	workers := fs.Int("workers", 0, "experiment worker-pool size (0 = one per CPU)")
 	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = in-memory only)")
+	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	repsFlag := fs.Int("reps", 0, "override pingpong round trips per size (0 = per-mode default)")
 	nasFlag := fs.Float64("nas-scale", 0, "override the NPB workload scale (0 = per-mode default)")
 	rayFlag := fs.Float64("ray-scale", 0, "override the ray2mesh workload scale (0 = per-mode default)")
@@ -98,6 +99,18 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	if *traceFlag > 0 {
 		traceN = *traceFlag
+	}
+
+	var evict exp.EvictPolicy
+	if *evictStr != "" {
+		if *cacheDir == "" {
+			return fmt.Errorf("-cache-evict needs -cache")
+		}
+		p, err := exp.ParseEvictPolicy(*evictStr)
+		if err != nil {
+			return err
+		}
+		evict = p
 	}
 
 	r, err := exp.NewRunnerDir(*workers, *cacheDir)
@@ -158,6 +171,13 @@ func run(args []string, out, errOut io.Writer) error {
 		stats.Computed, stats.Disk, stats.Memory, r.CacheLen())
 	if stats.StoreErrors > 0 {
 		fmt.Fprintf(errOut, "warning: %d results could not be written to the disk cache\n", stats.StoreErrors)
+	}
+	if evict != (exp.EvictPolicy{}) {
+		rep, err := exp.EvictDir(*cacheDir, evict)
+		if err != nil {
+			return fmt.Errorf("cache eviction: %w", err)
+		}
+		fmt.Fprintln(errOut, rep)
 	}
 	return nil
 }

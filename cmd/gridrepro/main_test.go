@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,6 +46,21 @@ func TestParallelMatchesSequentialAndCacheServesSecondRun(t *testing.T) {
 	}
 	if !strings.Contains(againErr, "from disk") || strings.Contains(againErr, " 0 from disk") {
 		t.Errorf("second run did not load from disk: %s", againErr)
+	}
+}
+
+// TestStdoutMatchesPrePRGolden pins the whole-paper stdout to the bytes
+// the command produced before the Topology/Placement API redesign
+// (testdata/quick_tiny.golden was captured from the pre-redesign code):
+// the redesign must not move a single byte of the reproduction.
+func TestStdoutMatchesPrePRGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "quick_tiny.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := regen(t, "-workers", "8")
+	if out != string(golden) {
+		t.Errorf("stdout diverged from the pre-redesign golden (%d bytes vs %d)", len(out), len(golden))
 	}
 }
 

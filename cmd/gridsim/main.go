@@ -18,7 +18,6 @@ import (
 	"os"
 
 	"repro/internal/exp"
-	"repro/internal/grid5000"
 	"repro/internal/mpiimpl"
 )
 
@@ -50,6 +49,8 @@ func run(args []string, out, errOut io.Writer) error {
 	impl := fs.String("impl", mpiimpl.GridMPI, "implementation: MPICH2, GridMPI, MPICH-Madeleine, OpenMPI, MPICH-G2, TCP")
 	nodes := fs.Int("nodes", 4, "nodes per site")
 	grid := fs.Bool("grid", true, "span Rennes and Nancy (otherwise one cluster)")
+	sitesStr := fs.String("sites", "", `explicit per-site layout, e.g. "rennes:8+nancy:4+sophia:4" (overrides -nodes/-grid)`)
+	placementStr := fs.String("placement", "", "rank placement: block, round-robin, master:<site> (default block)")
 	pattern := fs.String("pattern", "alltoall", "pattern: pingpong, ring, alltoall, bcast, allreduce, barrier")
 	sizeStr := fs.String("size", "1M", "message size (supports k/M/G suffixes)")
 	iters := fs.Int("iters", 10, "pattern repetitions")
@@ -79,9 +80,19 @@ func run(args []string, out, errOut io.Writer) error {
 		return err
 	}
 
-	topo := exp.Topology{Sites: []string{grid5000.Rennes}, NodesPerSite: *nodes}
+	topo := exp.Cluster(*nodes)
 	if *grid {
-		topo.Sites = append(topo.Sites, grid5000.Nancy)
+		topo = exp.Grid(*nodes)
+	}
+	if *sitesStr != "" {
+		var err error
+		if topo, err = exp.ParseLayout(*sitesStr); err != nil {
+			return fmt.Errorf("bad -sites: %w", err)
+		}
+	}
+	topo.Placement = exp.Placement(*placementStr)
+	if err := topo.Validate(); err != nil {
+		return err
 	}
 	wl := exp.PatternWorkload(*pattern, size, *iters)
 	wl.Timeout = *budget
@@ -113,7 +124,7 @@ func run(args []string, out, errOut io.Writer) error {
 		return nil
 	}
 	fmt.Fprintf(out, "%s, %d ranks (%s), pattern=%s size=%d iters=%d\n",
-		*impl, topo.NP(), map[bool]string{true: "8.7-19.9 ms WAN", false: "one cluster"}[*grid],
+		*impl, topo.NP(), map[bool]string{true: "8.7-19.9 ms WAN", false: "one cluster"}[len(topo.Layout) > 1],
 		*pattern, size, *iters)
 	if res.DNF {
 		fmt.Fprintf(out, "DNF: run exceeded its virtual-time budget\n")

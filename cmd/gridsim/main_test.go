@@ -52,4 +52,30 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-impl", "LAM/MPI"}, &out, &errOut); err == nil {
 		t.Error("unknown implementation accepted")
 	}
+	if err := run([]string{"-sites", "paris:4"}, &out, &errOut); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if err := run([]string{"-placement", "scatter"}, &out, &errOut); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	if err := run([]string{"-placement", "master:sophia"}, &out, &errOut); err == nil {
+		t.Error("master outside the layout accepted")
+	}
+}
+
+// TestRunAsymmetricSites drives a per-site layout with a placement
+// policy through the CLI.
+func TestRunAsymmetricSites(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-impl", "GridMPI", "-sites", "rennes:2+nancy:1+sophia:1",
+		"-placement", "master:sophia",
+		"-pattern", "bcast", "-size", "32k", "-iters", "2",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "GridMPI, 4 ranks") {
+		t.Errorf("output missing the 4-rank asymmetric header:\n%s", out.String())
+	}
 }

@@ -86,18 +86,30 @@ func parseTunings(s string) ([]exp.Tuning, error) {
 	return tunings, nil
 }
 
-func parseTopos(s string, nodes int) ([]exp.Topology, error) {
+func parseTopos(s string, nodes int, placement exp.Placement) ([]exp.Topology, error) {
 	var topos []exp.Topology
 	for _, tok := range strings.Split(s, ",") {
-		switch strings.TrimSpace(tok) {
+		tok = strings.TrimSpace(tok)
+		var topo exp.Topology
+		switch tok {
 		case "grid":
-			topos = append(topos, exp.Grid(nodes))
+			topo = exp.Grid(nodes)
 		case "cluster":
-			topos = append(topos, exp.Cluster(2*nodes))
+			topo = exp.Cluster(2 * nodes)
 		case "":
+			continue
 		default:
-			return nil, fmt.Errorf("unknown topology %q (want grid, cluster)", tok)
+			// An explicit per-site layout, e.g. "rennes:8+nancy:4+sophia:4".
+			var err error
+			if topo, err = exp.ParseLayout(tok); err != nil {
+				return nil, fmt.Errorf("unknown topology %q (want grid, cluster, or a site:nodes layout): %w", tok, err)
+			}
 		}
+		topo.Placement = placement
+		if err := topo.Validate(); err != nil {
+			return nil, err
+		}
+		topos = append(topos, topo)
 	}
 	if len(topos) == 0 {
 		return nil, fmt.Errorf("empty -topo")
@@ -157,7 +169,8 @@ func run(args []string, out, errOut io.Writer) error {
 	fs.SetOutput(errOut)
 	implsStr := fs.String("impls", "all", `implementations: "all" (TCP + the four MPI), "mpi" (the four), or a comma list`)
 	tuningsStr := fs.String("tunings", "default,tcp,full", "tuning levels to cross (default, tcp, full)")
-	topoStr := fs.String("topo", "grid", "topologies to cross (grid, cluster)")
+	topoStr := fs.String("topo", "grid", `topologies to cross: grid, cluster, or per-site layouts like "rennes:8+nancy:4"`)
+	placementStr := fs.String("placement", "", "rank placement for every topology: block, round-robin, master:<site> (default block)")
 	nodes := fs.Int("nodes", 1, "nodes per site (grid) / half the cluster size")
 	workloadStr := fs.String("workload", "pingpong", "workload: pingpong, trace, npb[:BENCH|:all], pattern:NAME, ray2mesh[:SITE|:all]")
 	reps := fs.Int("reps", 50, "pingpong round trips per size / trace message count")
@@ -167,6 +180,8 @@ func run(args []string, out, errOut io.Writer) error {
 	maxSizeStr := fs.String("max-size", "64M", "largest pingpong message size")
 	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = in-memory only)")
+	shardStr := fs.String("shard", "", `run only shard i of n ("i/n"): a deterministic fingerprint-keyed partition of the matrix, so shards can run on different machines and their -cache directories merge by plain file copy`)
+	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	format := fs.String("format", "table", "output: table, csv, json")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -191,6 +206,21 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -max-size: %w", err)
 	}
+	shard := exp.Shard{}
+	if *shardStr != "" {
+		if shard, err = exp.ParseShard(*shardStr); err != nil {
+			return err
+		}
+	}
+	var evict exp.EvictPolicy
+	if *evictStr != "" {
+		if *cacheDir == "" {
+			return fmt.Errorf("-cache-evict needs -cache")
+		}
+		if evict, err = exp.ParseEvictPolicy(*evictStr); err != nil {
+			return err
+		}
+	}
 	impls, err := parseImpls(*implsStr)
 	if err != nil {
 		return err
@@ -199,7 +229,7 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
-	topos, err := parseTopos(*topoStr, *nodes)
+	topos, err := parseTopos(*topoStr, *nodes, exp.Placement(*placementStr))
 	if err != nil {
 		return err
 	}
@@ -209,19 +239,34 @@ func run(args []string, out, errOut io.Writer) error {
 		return err
 	}
 
-	// ray2mesh always runs on its fixed four-site testbed: collapse the
-	// topology axis to the canonical description so the matrix labels and
-	// cache fingerprints reflect the run that actually happens.
+	// ray2mesh defaults to its fixed four-site testbed. An explicitly
+	// chosen -topo is honored (per-site layouts run for real since the
+	// Topology redesign); only the untouched default collapses to the
+	// canonical description, so matrix labels and cache fingerprints
+	// always reflect the run that actually happens. The application
+	// places its own master, so a -placement cannot be honored.
 	if strings.HasPrefix(*workloadStr, "ray2mesh") {
-		topos = []exp.Topology{exp.Ray2MeshTopology()}
+		if *placementStr != "" {
+			return fmt.Errorf("ray2mesh places its own master (the workload's site); -placement cannot be honored")
+		}
+		topoSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "topo" {
+				topoSet = true
+			}
+		})
+		if !topoSet {
+			topos = []exp.Topology{exp.Ray2MeshTopology()}
+		}
 	}
 	sweep := exp.Sweep{Impls: impls, Tunings: tunings, Topologies: topos, Workloads: workloads}
+	exps := shard.Select(sweep.Experiments())
 	runner, err := exp.NewRunnerDir(*workers, *cacheDir)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	results := runner.RunSweep(sweep)
+	results := runner.RunAll(exps)
 	wall := time.Since(start)
 
 	switch *format {
@@ -235,6 +280,10 @@ func run(args []string, out, errOut io.Writer) error {
 		}
 	default:
 		title := fmt.Sprintf("Sweep: %d experiments (%s workload)", len(results), *workloadStr)
+		if !shard.IsAll() {
+			title = fmt.Sprintf("Sweep shard %s: %d of %d experiments (%s workload)",
+				shard, len(results), sweep.Size(), *workloadStr)
+		}
 		fmt.Fprintln(out, exp.MatrixTable(title, results))
 		fmt.Fprintf(out, "%d experiments, %d workers, wall time %v\n",
 			len(results), runner.Workers(), wall.Round(time.Millisecond))
@@ -243,6 +292,13 @@ func run(args []string, out, errOut io.Writer) error {
 		stats := runner.CacheStats()
 		fmt.Fprintf(errOut, "cache: %d computed, %d from disk, %d from memory\n",
 			stats.Computed, stats.Disk, stats.Memory)
+	}
+	if evict != (exp.EvictPolicy{}) {
+		rep, err := exp.EvictDir(*cacheDir, evict)
+		if err != nil {
+			return fmt.Errorf("cache eviction: %w", err)
+		}
+		fmt.Fprintln(errOut, rep)
 	}
 	// Failed cells render as ERR/err fields above; surface the reason and
 	// exit nonzero so scripts don't take a broken sweep as a measurement.

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -104,12 +106,121 @@ func TestRunBadFlags(t *testing.T) {
 		{"-workload", "nope"},
 		{"-tunings", "bogus"},
 		{"-topo", "mesh"},
+		{"-topo", "rennes:0"},
+		{"-placement", "scatter"},
 		{"-impls", "LAM/MPI"},
+		{"-shard", "0/2"},
+		{"-shard", "3/2"},
+		{"-shard", "x"},
+		{"-cache-evict", "720h"}, // needs -cache
+		{"-cache-evict", "nonsense", "-cache", "cachedir"},
 		{"-format", "xml", "-impls", "TCP", "-tunings", "default", "-reps", "1", "-max-size", "1k"},
 	} {
 		if err := run(args, &out, &errOut); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunShardsPartitionAndMerge: two -shard runs split the matrix
+// disjointly; merging their cache directories by file copy lets the
+// unsharded run replay every cell from disk with output identical to a
+// cacheless run.
+func TestRunShardsPartitionAndMerge(t *testing.T) {
+	merged := t.TempDir()
+	totalRows := 0
+	for _, shard := range []string{"1/2", "2/2"} {
+		dir := t.TempDir()
+		var out, errOut strings.Builder
+		args := append([]string{"-format", "csv", "-shard", shard, "-cache", dir}, tinyArgs...)
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+		totalRows += len(strings.Split(strings.TrimSpace(out.String()), "\n")) - 1
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(merged, e.Name()), blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if totalRows != 4 {
+		t.Fatalf("shards produced %d rows in total, want the full 4-cell matrix", totalRows)
+	}
+
+	render := func(extra ...string) (string, string) {
+		var out, errOut strings.Builder
+		if err := run(append(append([]string{"-format", "json"}, extra...), tinyArgs...), &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), errOut.String()
+	}
+	mergedOut, mergedErr := render("-cache", merged)
+	directOut, _ := render()
+	if mergedOut != directOut {
+		t.Error("merged-shard replay differs from the direct run")
+	}
+	if !strings.Contains(mergedErr, "0 computed, 4 from disk") {
+		t.Errorf("merged replay recomputed cells: %s", mergedErr)
+	}
+}
+
+// TestRunCacheEvict: -cache-evict reports an eviction pass on stderr; a
+// generous age bound removes nothing.
+func TestRunCacheEvict(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	args := append([]string{"-cache", dir, "-cache-evict", "24h"}, tinyArgs...)
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "cache evict: removed 0 of 4 entries") {
+		t.Errorf("eviction summary missing: %s", errOut.String())
+	}
+}
+
+// TestRunRay2MeshTopologies: the default collapses to the canonical
+// four-site testbed; an explicit -topo layout is honored, not silently
+// replaced; -placement cannot be honored at all.
+func TestRunRay2MeshTopologies(t *testing.T) {
+	var out, errOut strings.Builder
+	// CSV output: the topology column always shows the testbed that ran.
+	base := []string{"-format", "csv", "-impls", "MPICH2", "-tunings", "tcp", "-workload", "ray2mesh:rennes", "-scale", "0.01"}
+	if err := run(append([]string{"-topo", "rennes:1+nancy:1"}, base...), &out, &errOut); err != nil {
+		t.Fatalf("explicit ray2mesh layout: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "rennes+nancy x1") {
+		t.Errorf("explicit layout not honored:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(base, &out, &errOut); err != nil {
+		t.Fatalf("default ray2mesh: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "nancy+rennes+sophia+toulouse x8") {
+		t.Errorf("default did not collapse to the canonical testbed:\n%s", out.String())
+	}
+	if err := run(append([]string{"-placement", "round-robin"}, base...), &out, &errOut); err == nil {
+		t.Error("-placement with ray2mesh accepted")
+	}
+}
+
+// TestRunAsymmetricTopology: a per-site -topo layout runs end to end.
+func TestRunAsymmetricTopology(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-impls", "GridMPI", "-tunings", "tcp", "-topo", "rennes:2+nancy:1+sophia:1",
+		"-workload", "pattern:bcast", "-size", "4k", "-iters", "2"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "rennes:2+nancy:1+sophia:1") && !strings.Contains(out.String(), "1 experiments") {
+		t.Errorf("asymmetric sweep output:\n%s", out.String())
 	}
 }
 

@@ -2,7 +2,11 @@
 // communication census and cluster-vs-grid timing — a small version of
 // what cmd/npbrun does for all of Figures 10-13.
 //
-//	go run ./examples/npb [-bench CG] [-scale 0.2]
+// Both runs flow through the exp engine (the single execution front
+// door): the cluster placement is exp.Cluster(np), the grid placement an
+// even split across Rennes and Nancy via exp.EvenSplit.
+//
+//	go run ./examples/npb [-bench CG] [-np 16] [-scale 0.2]
 package main
 
 import (
@@ -10,42 +14,61 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/exp"
+	"repro/internal/grid5000"
 	"repro/internal/mpiimpl"
-	"repro/internal/npb"
 )
 
 func main() {
 	bench := flag.String("bench", "CG", "benchmark: EP CG MG LU SP BT IS FT")
+	np := flag.Int("np", 16, "rank count (must split evenly across the two grid sites)")
 	scale := flag.Float64("scale", 0.2, "fraction of class-B iterations")
 	flag.Parse()
 
-	cluster := npb.Run(npb.Job{
-		Bench: *bench, Impl: mpiimpl.GridMPI, NP: 16,
-		Placement: npb.SingleCluster, Scale: *scale,
+	if err := exp.CheckBench(*bench); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gridTopo, err := exp.EvenSplit(*np, grid5000.Rennes, grid5000.Nancy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// NPB always runs at the paper's §4.2 TCP tuning (the study tunes
+	// first, then runs the applications).
+	experiment := func(topo exp.Topology) exp.Experiment {
+		return exp.Experiment{
+			Impl:     mpiimpl.GridMPI,
+			Tuning:   exp.Tuning{TCP: true},
+			Topology: topo,
+			Workload: exp.NPBWorkload(*bench, *scale),
+		}
+	}
+	r := exp.NewRunner(0)
+	results := r.RunAll([]exp.Experiment{
+		experiment(exp.Cluster(*np)),
+		experiment(gridTopo),
 	})
-	grid := npb.Run(npb.Job{
-		Bench: *bench, Impl: mpiimpl.GridMPI, NP: 16,
-		Placement: npb.TwoClusters, Scale: *scale,
-	})
-	for _, res := range []npb.Result{cluster, grid} {
+	for _, res := range results {
 		if res.Err != "" {
 			fmt.Fprintln(os.Stderr, res.Err)
 			os.Exit(1)
 		}
 	}
+	cluster, grid := results[0], results[1]
 
-	fmt.Printf("%s (class B skeleton, 16 ranks, scale %.2f) with GridMPI:\n\n", *bench, *scale)
-	fmt.Printf("  16 nodes, one cluster:      %v\n", cluster.Elapsed)
-	fmt.Printf("  8+8 nodes across the WAN:   %v\n", grid.Elapsed)
+	fmt.Printf("%s (class B skeleton, %d ranks, scale %.2f) with GridMPI:\n\n", *bench, *np, *scale)
+	fmt.Printf("  %d nodes, one cluster:      %v\n", *np, cluster.Elapsed)
+	fmt.Printf("  %d+%d nodes across the WAN:   %v\n", *np/2, *np/2, grid.Elapsed)
 	fmt.Printf("  relative grid performance:  %.2f\n\n", cluster.Elapsed.Seconds()/grid.Elapsed.Seconds())
 
-	s := grid.Stats
+	c := grid.Census
 	fmt.Printf("communication census: %d point-to-point messages, %d bytes (%d across the WAN)\n",
-		s.P2PSends, s.P2PBytes, s.WANSends)
-	for _, sc := range s.SizeCensus() {
+		c.P2PSends, c.P2PBytes, c.WANSends)
+	for _, sc := range c.Sizes {
 		fmt.Printf("  %9d B  x %d\n", sc.Size, sc.Count)
 	}
-	for _, op := range s.CollOps() {
-		fmt.Printf("  collective %-10s x %d\n", op, s.CollCalls(op))
+	for _, coll := range c.Collectives {
+		fmt.Printf("  collective %-10s x %d\n", coll.Op, coll.Calls)
 	}
 }

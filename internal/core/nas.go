@@ -55,16 +55,12 @@ func (f NASFigure) At(bench, impl string) (float64, bool) {
 	return f.Values[bench][impl], false
 }
 
-// npbExperiment maps a benchmark job onto the experiment engine's axes:
-// a SingleCluster NP-rank job is NP nodes in Rennes, a TwoClusters job
-// is NP/2 nodes each in Rennes and Nancy across the WAN, always at the
-// §4.2 TCP tuning level (the study tunes first, then runs the
-// applications).
-func npbExperiment(bench, impl string, np int, placement npb.Placement, scale float64, timeout time.Duration) exp.Experiment {
-	topo := exp.Cluster(np)
-	if placement == npb.TwoClusters {
-		topo = exp.Grid(np / 2)
-	}
+// npbExperiment runs one benchmark on one topology, always at the §4.2
+// TCP tuning level (the study tunes first, then runs the applications).
+// The topology carries the placement story the old npb.Run enum used to:
+// exp.Cluster(np) is the single-cluster run, exp.Grid(np/2) the paper's
+// even WAN split, and any per-site layout works the same way.
+func npbExperiment(bench, impl string, topo exp.Topology, scale float64, timeout time.Duration) exp.Experiment {
 	wl := exp.NPBWorkload(bench, scale)
 	wl.Timeout = timeout
 	return exp.Experiment{
@@ -76,15 +72,15 @@ func npbExperiment(bench, impl string, np int, placement npb.Placement, scale fl
 }
 
 // implComparison runs every implementation on every benchmark at one
-// (np, placement) and reports times relative to MPICH2 (T_ref/T_impl).
-// The MPICH2 references run first (their elapsed time defines every
-// other implementation's DNF budget), then all remaining cells fan out
-// across the runner's pool.
-func implComparison(r *exp.Runner, name, title string, np int, placement npb.Placement, scale float64) NASFigure {
+// topology and reports times relative to MPICH2 (T_ref/T_impl). The
+// MPICH2 references run first (their elapsed time defines every other
+// implementation's DNF budget), then all remaining cells fan out across
+// the runner's pool.
+func implComparison(r *exp.Runner, name, title string, topo exp.Topology, scale float64) NASFigure {
 	fig := newNASFigure(name, title)
 	refExps := make([]exp.Experiment, len(npb.Names))
 	for i, bench := range npb.Names {
-		refExps[i] = npbExperiment(bench, mpiimpl.MPICH2, np, placement, scale, 0)
+		refExps[i] = npbExperiment(bench, mpiimpl.MPICH2, topo, scale, 0)
 	}
 	refs := make(map[string]exp.Result, len(npb.Names))
 	for i, res := range r.RunAll(refExps) {
@@ -101,7 +97,7 @@ func implComparison(r *exp.Runner, name, title string, np int, placement npb.Pla
 			if impl == mpiimpl.MPICH2 {
 				continue
 			}
-			exps = append(exps, npbExperiment(bench, impl, np, placement, scale,
+			exps = append(exps, npbExperiment(bench, impl, topo, scale,
 				refs[bench].Elapsed*DNFBudgetFactor))
 		}
 	}
@@ -122,14 +118,14 @@ func implComparison(r *exp.Runner, name, title string, np int, placement npb.Pla
 func Figure10(r *exp.Runner, scale float64) NASFigure {
 	return implComparison(r, "figure10",
 		"NPB class B, 8-8 nodes between two clusters, relative to MPICH2",
-		16, npb.TwoClusters, scale)
+		exp.Grid(8), scale)
 }
 
 // Figure11 is the same comparison on 2+2 nodes.
 func Figure11(r *exp.Runner, scale float64) NASFigure {
 	return implComparison(r, "figure11",
 		"NPB class B, 2-2 nodes between two clusters, relative to MPICH2",
-		4, npb.TwoClusters, scale)
+		exp.Grid(2), scale)
 }
 
 // gridVsCluster computes per implementation T(cluster with npCluster
@@ -143,7 +139,7 @@ func gridVsCluster(r *exp.Runner, name, title string, npCluster int, scale float
 	var cells []cell
 	for _, bench := range npb.Names {
 		for _, impl := range mpiimpl.All {
-			clExps = append(clExps, npbExperiment(bench, impl, npCluster, npb.SingleCluster, scale, 0))
+			clExps = append(clExps, npbExperiment(bench, impl, exp.Cluster(npCluster), scale, 0))
 			cells = append(cells, cell{bench, impl})
 		}
 	}
@@ -155,7 +151,7 @@ func gridVsCluster(r *exp.Runner, name, title string, npCluster int, scale float
 		}
 		clusters[cells[i]] = res
 		budget := time.Duration(float64(res.Elapsed) * 4 * DNFBudgetFactor)
-		grExps[i] = npbExperiment(cells[i].bench, cells[i].impl, 16, npb.TwoClusters, scale, budget)
+		grExps[i] = npbExperiment(cells[i].bench, cells[i].impl, exp.Grid(8), scale, budget)
 	}
 	for i, res := range r.RunAll(grExps) {
 		if res.Err != "" {
@@ -200,7 +196,7 @@ type CensusRow struct {
 func Table2(r *exp.Runner, scale float64) []CensusRow {
 	exps := make([]exp.Experiment, len(npb.Names))
 	for i, bench := range npb.Names {
-		exps[i] = npbExperiment(bench, mpiimpl.MPICH2, 16, npb.SingleCluster, scale, 0)
+		exps[i] = npbExperiment(bench, mpiimpl.MPICH2, exp.Cluster(16), scale, 0)
 	}
 	rows := make([]CensusRow, 0, len(npb.Names))
 	for i, res := range r.RunAll(exps) {

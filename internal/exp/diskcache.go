@@ -5,6 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
 )
 
 // Store is a persistent backing layer for a Runner's in-memory result
@@ -35,6 +39,20 @@ type DiskCache struct {
 	dir string
 }
 
+// DiskSchemaVersion is the entry-format generation. Entries written
+// before versioning existed carry no schema field and are read as
+// version 1. When a future change makes old entries untrustworthy
+// despite textually matching fingerprints, bump this: mismatched entries
+// become clean misses (re-run and overwritten) instead of corrupt reads.
+const DiskSchemaVersion = 1
+
+// diskEntry is the stored envelope: the result plus the schema
+// generation that wrote it.
+type diskEntry struct {
+	Schema int `json:"schema,omitempty"`
+	Result
+}
+
 // NewDiskCache opens (creating if necessary) a cache directory.
 func NewDiskCache(dir string) (*DiskCache, error) {
 	if dir == "" {
@@ -54,28 +72,35 @@ func (c *DiskCache) path(fp string) string {
 	return filepath.Join(c.dir, fp+".json")
 }
 
-// Load reads one entry. Any defect — missing file, unparsable JSON, or
-// an entry whose stored experiment does not hash back to the requested
-// fingerprint — is a miss.
+// Load reads one entry. Any defect — missing file, unparsable JSON, a
+// foreign schema generation, or an entry whose stored experiment does
+// not hash back to the requested fingerprint — is a miss.
 func (c *DiskCache) Load(fp string) (Result, bool) {
 	blob, err := os.ReadFile(c.path(fp))
 	if err != nil {
 		return Result{}, false
 	}
-	var res Result
-	if err := json.Unmarshal(blob, &res); err != nil {
+	var entry diskEntry
+	if err := json.Unmarshal(blob, &entry); err != nil {
 		return Result{}, false
 	}
-	if res.Exp.Fingerprint() != fp {
+	schema := entry.Schema
+	if schema == 0 {
+		schema = 1 // pre-versioning entries
+	}
+	if schema != DiskSchemaVersion {
 		return Result{}, false
 	}
-	return res, true
+	if entry.Exp.Fingerprint() != fp {
+		return Result{}, false
+	}
+	return entry.Result, true
 }
 
 // Store writes one entry atomically: marshal, write to a temp file in
 // the cache directory, rename over the final name.
 func (c *DiskCache) Store(fp string, res Result) error {
-	blob, err := json.MarshalIndent(res, "", " ")
+	blob, err := json.MarshalIndent(diskEntry{Schema: DiskSchemaVersion, Result: res}, "", " ")
 	if err != nil {
 		return fmt.Errorf("exp: marshal cache entry: %w", err)
 	}
@@ -97,6 +122,156 @@ func (c *DiskCache) Store(fp string, res Result) error {
 		return fmt.Errorf("exp: commit cache entry: %w", err)
 	}
 	return nil
+}
+
+// EvictPolicy bounds a cache directory's age and size. Zero fields mean
+// no bound on that dimension.
+type EvictPolicy struct {
+	// MaxAge removes entries whose file has not been (re)written for
+	// longer than this.
+	MaxAge time.Duration
+	// MaxBytes removes oldest-first entries until the directory's
+	// committed entries total at most this many bytes.
+	MaxBytes int64
+}
+
+// sizeToken matches the byte-size spellings ParseSize accepts (digits
+// with an optional k/M/G suffix). Checked before time.ParseDuration so
+// "512m" means 512 MiB, consistent with every other size flag — not a
+// 512-minute age bound.
+var sizeToken = regexp.MustCompile(`^[0-9]+[kKmMgG]?$`)
+
+// ParseEvictPolicy parses a CLI eviction spec: comma-separated bounds,
+// each either a byte size with k/M/G suffixes (size bound, e.g. "512M")
+// or a Go duration (age bound, e.g. "720h").
+func ParseEvictPolicy(s string) (EvictPolicy, error) {
+	var p EvictPolicy
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if sizeToken.MatchString(tok) {
+			n, err := ParseSize(tok)
+			if err != nil || n <= 0 {
+				return p, fmt.Errorf("exp: bad size bound %q", tok)
+			}
+			p.MaxBytes = int64(n)
+			continue
+		}
+		d, err := time.ParseDuration(tok)
+		if err != nil {
+			return p, fmt.Errorf("exp: bad eviction bound %q (want a size like 512M or a duration like 720h)", tok)
+		}
+		if d <= 0 {
+			return p, fmt.Errorf("exp: non-positive age bound %q", tok)
+		}
+		p.MaxAge = d
+	}
+	if p == (EvictPolicy{}) {
+		return p, fmt.Errorf("exp: empty eviction spec %q", s)
+	}
+	return p, nil
+}
+
+// EvictDir is the CLI wiring of a -cache-evict flag: open the cache
+// directory and run one eviction pass.
+func EvictDir(dir string, p EvictPolicy) (EvictReport, error) {
+	store, err := NewDiskCache(dir)
+	if err != nil {
+		return EvictReport{}, err
+	}
+	return store.Evict(p)
+}
+
+// EvictReport summarises one eviction pass.
+type EvictReport struct {
+	Scanned        int
+	Removed        int
+	RemovedBytes   int64
+	RemainingBytes int64
+}
+
+func (r EvictReport) String() string {
+	return fmt.Sprintf("cache evict: removed %d of %d entries (%d bytes), %d bytes remain",
+		r.Removed, r.Scanned, r.RemovedBytes, r.RemainingBytes)
+}
+
+// Evict applies an age/size bound to the cache directory: entries older
+// than MaxAge go first, then oldest-first entries until the total is
+// within MaxBytes. Stale temp files from crashed writers (older than an
+// hour) are cleaned up as a side effect. Eviction is maintenance, not
+// correctness: a concurrently re-written entry simply survives as a
+// fresh file.
+func (c *DiskCache) Evict(p EvictPolicy) (EvictReport, error) {
+	dirEntries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return EvictReport{}, err
+	}
+	type file struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var files []file
+	var rep EvictReport
+	now := time.Now()
+	for _, e := range dirEntries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a concurrent rename/remove
+		}
+		if strings.Contains(e.Name(), ".tmp-") {
+			if now.Sub(info.ModTime()) > time.Hour {
+				os.Remove(filepath.Join(c.dir, e.Name()))
+			}
+			continue
+		}
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		files = append(files, file{e.Name(), info.Size(), info.ModTime()})
+	}
+	rep.Scanned = len(files)
+	// Oldest first; names break mtime ties so the pass is deterministic.
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod)
+		}
+		return files[i].name < files[j].name
+	})
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	remove := func(f file) {
+		if os.Remove(filepath.Join(c.dir, f.name)) == nil {
+			rep.Removed++
+			rep.RemovedBytes += f.size
+			total -= f.size
+		}
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if p.MaxAge > 0 && now.Sub(f.mod) > p.MaxAge {
+			remove(f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	if p.MaxBytes > 0 {
+		for _, f := range kept {
+			if total <= p.MaxBytes {
+				break
+			}
+			remove(f)
+		}
+	}
+	rep.RemainingBytes = total
+	return rep, nil
 }
 
 // Len counts the committed entries in the cache directory.

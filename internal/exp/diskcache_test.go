@@ -2,10 +2,12 @@ package exp
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/mpiimpl"
 )
@@ -161,5 +163,143 @@ func TestDiskCacheSkipsFailedRuns(t *testing.T) {
 func TestNewDiskCacheRejectsEmptyDir(t *testing.T) {
 	if _, err := NewDiskCache(""); err == nil {
 		t.Fatal("empty dir accepted")
+	}
+}
+
+// TestDiskCacheSchemaVersion: entries from a foreign schema generation
+// miss cleanly (re-run and overwritten); entries written before
+// versioning existed (no schema field) still hit.
+func TestDiskCacheSchemaVersion(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tinyPingPong(mpiimpl.GridMPI, Tuning{})
+	good := Run(e)
+
+	// Current schema: round-trips.
+	if err := store.Store(e.Fingerprint(), good); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(entryPath(dir, e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(blob, []byte(`"schema": 1`)) {
+		t.Error("stored entry carries no schema field")
+	}
+	if _, ok := store.Load(e.Fingerprint()); !ok {
+		t.Fatal("current-schema entry missed")
+	}
+
+	// A future schema generation must be a miss, not a corrupt read.
+	future := bytes.Replace(blob, []byte(`"schema": 1`), []byte(`"schema": 99`), 1)
+	if err := os.WriteFile(entryPath(dir, e), future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load(e.Fingerprint()); ok {
+		t.Error("foreign-schema entry served as a hit")
+	}
+	r := NewRunnerStore(1, store)
+	if res := r.Run(e); res.Cached {
+		t.Error("foreign-schema entry not recomputed")
+	}
+
+	// A pre-versioning entry (a bare Result, no schema field) is
+	// version 1 — exactly what the old code wrote.
+	legacy, err := json.MarshalIndent(good, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryPath(dir, e), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load(e.Fingerprint()); !ok {
+		t.Error("pre-versioning entry missed")
+	}
+}
+
+// TestDiskCacheEvict: the age bound removes stale entries, the size
+// bound removes oldest-first, and fresh entries survive both.
+func TestDiskCacheEvict(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := []Experiment{
+		tinyPingPong(mpiimpl.RawTCP, Tuning{}),
+		tinyPingPong(mpiimpl.MPICH2, Tuning{}),
+		tinyPingPong(mpiimpl.GridMPI, Tuning{}),
+	}
+	NewRunnerStore(2, store).RunAll(exps)
+	if n, _ := store.Len(); n != 3 {
+		t.Fatalf("store holds %d entries, want 3", n)
+	}
+	// Back-date the first two entries by a week.
+	old := time.Now().Add(-7 * 24 * time.Hour)
+	for _, e := range exps[:2] {
+		if err := os.Chtimes(entryPath(dir, e), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := store.Evict(EvictPolicy{MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 3 || rep.Removed != 2 {
+		t.Errorf("age pass = %+v, want 2 of 3 removed", rep)
+	}
+	if _, ok := store.Load(exps[2].Fingerprint()); !ok {
+		t.Error("fresh entry evicted by the age bound")
+	}
+
+	// Size bound: refill, then bound to roughly one entry's size —
+	// oldest-first removal keeps the newest.
+	NewRunnerStore(2, store).RunAll(exps)
+	info, err := os.Stat(entryPath(dir, exps[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range exps[:2] {
+		ts := time.Now().Add(-time.Duration(i+1) * time.Hour)
+		if err := os.Chtimes(entryPath(dir, e), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = store.Evict(EvictPolicy{MaxBytes: info.Size() + 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 2 || rep.RemainingBytes > info.Size()+16 {
+		t.Errorf("size pass = %+v, want 2 removed within the bound", rep)
+	}
+	if _, ok := store.Load(exps[2].Fingerprint()); !ok {
+		t.Error("newest entry evicted by the size bound")
+	}
+}
+
+// TestParseEvictPolicy covers the CLI spec syntax.
+func TestParseEvictPolicy(t *testing.T) {
+	p, err := ParseEvictPolicy("720h,512M")
+	if err != nil || p.MaxAge != 720*time.Hour || p.MaxBytes != 512<<20 {
+		t.Errorf("ParseEvictPolicy(720h,512M) = %+v, %v", p, err)
+	}
+	if p, err := ParseEvictPolicy("96h"); err != nil || p.MaxAge != 96*time.Hour || p.MaxBytes != 0 {
+		t.Errorf("age-only = %+v, %v", p, err)
+	}
+	if p, err := ParseEvictPolicy("1G"); err != nil || p.MaxBytes != 1<<30 || p.MaxAge != 0 {
+		t.Errorf("size-only = %+v, %v", p, err)
+	}
+	// A lowercase size suffix is a size, as in every other size flag —
+	// never a minutes age bound.
+	if p, err := ParseEvictPolicy("512m"); err != nil || p.MaxBytes != 512<<20 || p.MaxAge != 0 {
+		t.Errorf("lowercase size = %+v, %v", p, err)
+	}
+	for _, bad := range []string{"", ",", "-3h", "0", "x"} {
+		if _, err := ParseEvictPolicy(bad); err == nil {
+			t.Errorf("ParseEvictPolicy(%q) accepted", bad)
+		}
 	}
 }

@@ -63,84 +63,6 @@ func (t Tuning) String() string {
 	return "default"
 }
 
-// Topology describes the simulated testbed: which sites participate, how
-// many nodes each contributes, and optional overrides of the WAN
-// characteristics (zero values keep the published Grid'5000 numbers).
-type Topology struct {
-	Sites        []string `json:"sites"`
-	NodesPerSite int      `json:"nodes_per_site"`
-	// WANOneWay overrides the inter-site one-way delay for every site pair
-	// (0 = the published per-pair Grid'5000 delays).
-	WANOneWay time.Duration `json:"wan_one_way,omitempty"`
-	// WANRate overrides the site uplink rate in bytes/second (0 = 10 GbE).
-	WANRate float64 `json:"wan_rate,omitempty"`
-}
-
-// Cluster is a single-site topology with n nodes in Rennes.
-func Cluster(nodes int) Topology {
-	return Topology{Sites: []string{grid5000.Rennes}, NodesPerSite: nodes}
-}
-
-// Grid is the paper's two-site Rennes–Nancy topology with n nodes per
-// site across the 11.6 ms RTT WAN.
-func Grid(nodesPerSite int) Topology {
-	return Topology{Sites: []string{grid5000.Rennes, grid5000.Nancy}, NodesPerSite: nodesPerSite}
-}
-
-// Build constructs the network. Standard topologies delegate to
-// grid5000.Build; WAN overrides assemble the same layout with the
-// requested delay/uplink.
-func (t Topology) Build() *netsim.Network {
-	if t.WANOneWay == 0 && t.WANRate == 0 {
-		return grid5000.Build(t.NodesPerSite, t.Sites...)
-	}
-	net := netsim.New()
-	uplink := t.WANRate
-	if uplink == 0 {
-		uplink = tcpsim.TenGigabitEthernet
-	}
-	for _, name := range t.Sites {
-		speed := 0.0
-		for _, s := range grid5000.Sites {
-			if s.Name == name {
-				speed = s.CPUSpeed
-			}
-		}
-		if speed == 0 {
-			// Same contract as grid5000.Build: an unknown site is an
-			// error (surfaced as Result.Err by Run's recover), never a
-			// silently wrong CPU speed.
-			panic("exp: unknown site " + name)
-		}
-		net.AddSite(name, t.NodesPerSite, speed, tcpsim.GigabitEthernet, grid5000.IntraClusterOneWay)
-		net.SetUplink(name, uplink)
-	}
-	for i := 0; i < len(t.Sites); i++ {
-		for j := i + 1; j < len(t.Sites); j++ {
-			owd := t.WANOneWay
-			if owd == 0 {
-				owd = grid5000.OneWay(t.Sites[i], t.Sites[j])
-			}
-			net.ConnectSites(t.Sites[i], t.Sites[j], owd)
-		}
-	}
-	return net
-}
-
-// NP is the total rank count of an all-hosts workload on this topology.
-func (t Topology) NP() int { return len(t.Sites) * t.NodesPerSite }
-
-func (t Topology) String() string {
-	s := fmt.Sprintf("%s x%d", strings.Join(t.Sites, "+"), t.NodesPerSite)
-	if t.WANOneWay != 0 {
-		s += fmt.Sprintf(" owd=%v", t.WANOneWay)
-	}
-	if t.WANRate != 0 {
-		s += fmt.Sprintf(" uplink=%.0fMB/s", t.WANRate/1e6)
-	}
-	return s
-}
-
 // Workload kinds.
 const (
 	KindPingPong = "pingpong" // perf.PingPong between two hosts
@@ -212,11 +134,13 @@ func NPBWorkload(bench string, scale float64) Workload {
 	return Workload{Kind: KindNPB, Bench: bench, Scale: scale}
 }
 
-// Ray2MeshWorkload runs the seismic application on the fixed four-site
-// testbed with the master on the given site. Impl and Tuning apply; the
-// Topology axis must be zero or Ray2MeshTopology() and EagerThreshold
-// must be zero (the testbed and thresholds are the application's own —
-// anything else is rejected rather than silently ignored).
+// Ray2MeshWorkload runs the seismic application with the master on the
+// given site. A zero Topology (or Ray2MeshTopology()) selects the paper's
+// fixed four-site testbed; any other per-site layout containing the
+// master site is honored, so asymmetric and 3-site scenarios run through
+// the same front door. Impl and Tuning apply; EagerThreshold,
+// SocketBuffer, WAN overrides and placement policies are the
+// application's own and are rejected rather than silently ignored.
 func Ray2MeshWorkload(master string, scale float64) Workload {
 	return Workload{Kind: KindRay2Mesh, Master: master, Scale: scale}
 }
@@ -476,13 +400,9 @@ func Run(e Experiment) (res Result) {
 		runFabric(&res)
 		return res
 	}
-	if len(e.Topology.Sites) == 0 || e.Topology.NodesPerSite < 1 {
-		res.Err = fmt.Sprintf("exp: empty topology %s", e.Topology)
-		return res
-	}
 	twoEnded := e.Workload.Kind == KindPingPong || e.Workload.Kind == KindTrace
-	if twoEnded && len(e.Topology.Sites) == 1 && e.Topology.NodesPerSite < 2 {
-		res.Err = fmt.Sprintf("exp: %s on a single site needs at least 2 nodes", e.Workload.Kind)
+	if twoEnded && e.Topology.NP() < 2 {
+		res.Err = fmt.Sprintf("exp: %s needs at least 2 nodes in the topology", e.Workload.Kind)
 		return res
 	}
 
@@ -497,11 +417,15 @@ func Run(e Experiment) (res Result) {
 	}
 	k := sim.New(1)
 	defer k.Close()
-	net := e.Topology.Build()
+	net, err := e.Topology.Build()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
 
 	switch e.Workload.Kind {
 	case KindPingPong:
-		w := mpi.NewWorld(k, net, tcp, prof, pingpongHosts(net, e.Topology))
+		w := mpi.NewWorld(k, net, tcp, prof, e.Topology.endpointHosts(net))
 		pts, err := perf.PingPong(w, e.Workload.Sizes, e.Workload.Reps)
 		res.Points = pts
 		res.Elapsed = k.Now()
@@ -513,13 +437,13 @@ func Run(e Experiment) (res Result) {
 			}
 		}
 	case KindTrace:
-		w := mpi.NewWorld(k, net, tcp, prof, pingpongHosts(net, e.Topology))
+		w := mpi.NewWorld(k, net, tcp, prof, e.Topology.endpointHosts(net))
 		trace, err := perf.BandwidthTrace(w, e.Workload.Size, e.Workload.Reps)
 		res.Trace = trace
 		res.Elapsed = k.Now()
 		res.fill(w, err)
 	case KindPattern:
-		w := mpi.NewWorld(k, net, tcp, prof, allHosts(net, e.Topology))
+		w := mpi.NewWorld(k, net, tcp, prof, e.Topology.RankHosts(net))
 		body, err := PatternBody(e.Workload.Pattern, e.Workload.Size, e.Workload.Iters)
 		if err != nil {
 			res.Err = err.Error()
@@ -533,7 +457,7 @@ func Run(e Experiment) (res Result) {
 			res.Err = "exp: " + err.Error()
 			return res
 		}
-		w := mpi.NewWorld(k, net, tcp, prof, allHosts(net, e.Topology))
+		w := mpi.NewWorld(k, net, tcp, prof, e.Topology.RankHosts(net))
 		spec := npb.Get(e.Workload.Bench)
 		params := npb.Params{NP: e.Topology.NP(), Scale: e.Workload.scale()}
 		elapsed, err := runBody(w, func(r *mpi.Rank) { spec.Run(r, params) }, e.Workload)
@@ -569,18 +493,9 @@ func (r *Result) fill(w *mpi.World, err error) {
 
 func runRay2Mesh(res *Result) {
 	e := res.Exp
-	if err := CheckSite(e.Workload.Master); err != nil {
-		res.Err = "exp: " + err.Error()
-		return
-	}
-	// The application owns its testbed and thresholds: reject axis values
-	// that could not be honored, so no result is ever labeled with a
-	// configuration that did not actually run.
-	if len(e.Topology.Sites) != 0 && e.Topology.String() != Ray2MeshTopology().String() {
-		res.Err = fmt.Sprintf("exp: ray2mesh runs on its fixed testbed (%s); topology %s cannot be honored — leave it zero or use Ray2MeshTopology()",
-			Ray2MeshTopology(), e.Topology)
-		return
-	}
+	// The application owns its thresholds: reject axis values that could
+	// not be honored, so no result is ever labeled with a configuration
+	// that did not actually run.
 	if e.EagerThreshold > 0 {
 		res.Err = "exp: ray2mesh does not support an eager-threshold override"
 		return
@@ -593,6 +508,48 @@ func runRay2Mesh(res *Result) {
 	cfg.Impl = e.Impl
 	cfg.TCPTuned = e.Tuning.TCP
 	cfg.MPITuned = e.Tuning.MPI
+	switch {
+	case e.Topology.IsZero(), e.Topology.String() == Ray2MeshTopology().String():
+		// The canonical Figure 8 testbed: the master site must be one of
+		// its four clusters.
+		if err := CheckSite(e.Workload.Master); err != nil {
+			res.Err = "exp: " + err.Error()
+			return
+		}
+	default:
+		// A custom per-site layout: ray2mesh builds its own stack, so WAN
+		// overrides and placement policies cannot be honored (the master
+		// location is the workload's Master field).
+		if e.Topology.WANOneWay != 0 || e.Topology.WANRate != 0 {
+			res.Err = "exp: ray2mesh does not support WAN overrides"
+			return
+		}
+		if e.Topology.Placement.normalized() != "" {
+			res.Err = "exp: ray2mesh places its own master; use the workload's Master field, not a topology placement"
+			return
+		}
+		if err := e.Topology.Validate(); err != nil {
+			res.Err = err.Error()
+			return
+		}
+		if e.Topology.NP() < 2 {
+			res.Err = fmt.Sprintf("exp: ray2mesh needs at least 2 nodes, topology %s has %d", e.Topology, e.Topology.NP())
+			return
+		}
+		layout := make([]grid5000.SiteCount, len(e.Topology.Layout))
+		masterInLayout := false
+		for i, s := range e.Topology.Layout {
+			layout[i] = grid5000.SiteCount{Name: s.Name, Nodes: s.Nodes}
+			if s.Name == e.Workload.Master {
+				masterInLayout = true
+			}
+		}
+		if !masterInLayout {
+			res.Err = fmt.Sprintf("exp: ray2mesh master site %q is not in topology %s", e.Workload.Master, e.Topology)
+			return
+		}
+		cfg.Layout = layout
+	}
 	out := ray2mesh.Run(cfg)
 	res.Elapsed = out.TotalTime
 	res.Census = CensusOf(out.Stats)
@@ -616,7 +573,7 @@ func runFabric(res *Result) {
 	w := e.Workload
 	// The fabric workload owns its testbed and stack: reject axis values
 	// that could not be honored.
-	if len(e.Topology.Sites) != 0 || e.Topology.NodesPerSite != 0 {
+	if !e.Topology.IsZero() {
 		res.Err = fmt.Sprintf("exp: fabric workloads build their own two-node testbed; topology %s cannot be honored — leave it zero", e.Topology)
 		return
 	}
@@ -653,26 +610,3 @@ func runFabric(res *Result) {
 	res.fill(world, err)
 }
 
-// pingpongHosts picks the two endpoints: the first host of the first two
-// sites on a grid, the first two hosts of a single cluster.
-func pingpongHosts(net *netsim.Network, t Topology) []*netsim.Host {
-	if len(t.Sites) >= 2 {
-		return []*netsim.Host{
-			net.Host(t.Sites[0] + "-1"),
-			net.Host(t.Sites[1] + "-1"),
-		}
-	}
-	return []*netsim.Host{
-		net.Host(t.Sites[0] + "-1"),
-		net.Host(t.Sites[0] + "-2"),
-	}
-}
-
-// allHosts lists every host site-major in the topology's site order.
-func allHosts(net *netsim.Network, t Topology) []*netsim.Host {
-	var hosts []*netsim.Host
-	for _, s := range t.Sites {
-		hosts = append(hosts, net.SiteHosts(s)...)
-	}
-	return hosts
-}

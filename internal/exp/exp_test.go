@@ -91,7 +91,10 @@ func TestRunDeterminism(t *testing.T) {
 }
 
 func TestTopologyBuildMatchesGrid5000(t *testing.T) {
-	net := Grid(2).Build()
+	net, err := Grid(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	ref := grid5000.Build(2, grid5000.Rennes, grid5000.Nancy)
 	if len(net.Hosts()) != len(ref.Hosts()) {
 		t.Fatalf("hosts = %d, want %d", len(net.Hosts()), len(ref.Hosts()))
@@ -107,7 +110,10 @@ func TestTopologyWANOverrides(t *testing.T) {
 	topo := Grid(1)
 	topo.WANOneWay = 25 * time.Millisecond
 	topo.WANRate = 1.25e8
-	net := topo.Build()
+	net, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := net.Path(net.Host("rennes-1"), net.Host("nancy-1"))
 	if p.OneWay != 25*time.Millisecond {
 		t.Errorf("override one-way = %v, want 25ms", p.OneWay)
@@ -118,7 +124,7 @@ func TestTopologyWANOverrides(t *testing.T) {
 	// An unknown site must fail like grid5000.Build does, not default to
 	// a silently wrong CPU speed.
 	bad := Run(Experiment{Impl: mpiimpl.RawTCP,
-		Topology: Topology{Sites: []string{"renne", "nancy"}, NodesPerSite: 1, WANRate: 1e8},
+		Topology: Topology{Layout: []SiteSpec{{"renne", 1}, {"nancy", 1}}, WANRate: 1e8},
 		Workload: PingPongWorkload([]int{1 << 10}, 1)})
 	if bad.Err == "" || !strings.Contains(bad.Err, "unknown site") {
 		t.Errorf("unknown-site override err = %q", bad.Err)
@@ -235,11 +241,15 @@ func TestBadExperimentsReportErr(t *testing.T) {
 		// that would kill a worker pool.
 		{Impl: mpiimpl.MPICH2, Workload: PingPongWorkload(tinySizes, 1)},
 		{Impl: mpiimpl.MPICH2, Topology: Cluster(1), Workload: PingPongWorkload(tinySizes, 1)},
-		// ray2mesh owns its testbed and thresholds: a topology other than
-		// the canonical one, or a threshold override, must be rejected
-		// rather than silently ignored and mislabeled.
-		{Impl: mpiimpl.MPICH2, Topology: Grid(8), Workload: Ray2MeshWorkload(grid5000.Rennes, 0.05)},
+		// ray2mesh owns its thresholds and WAN: a threshold override, a
+		// topology without the master site, a WAN override, or a
+		// placement policy must be rejected rather than silently ignored
+		// and mislabeled (arbitrary per-site layouts are honored).
 		{Impl: mpiimpl.MPICH2, EagerThreshold: 1 << 20, Workload: Ray2MeshWorkload(grid5000.Rennes, 0.05)},
+		{Impl: mpiimpl.MPICH2, Topology: Asym(Site(grid5000.Nancy, 2), Site(grid5000.Sophia, 2)), Workload: Ray2MeshWorkload(grid5000.Rennes, 0.05)},
+		{Impl: mpiimpl.MPICH2, Topology: Topology{Layout: []SiteSpec{{grid5000.Rennes, 2}, {grid5000.Nancy, 2}}, WANRate: 1e8}, Workload: Ray2MeshWorkload(grid5000.Rennes, 0.05)},
+		{Impl: mpiimpl.MPICH2, Topology: Topology{Layout: []SiteSpec{{grid5000.Rennes, 2}, {grid5000.Nancy, 2}}, Placement: PlaceRoundRobin}, Workload: Ray2MeshWorkload(grid5000.Rennes, 0.05)},
+		{Impl: mpiimpl.MPICH2, Topology: Cluster(1), Workload: Ray2MeshWorkload(grid5000.Rennes, 0.05)},
 	}
 	for _, e := range bad {
 		if res := Run(e); res.Err == "" {

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mpiimpl"
+)
+
+// TestShardUnionIsFullMatrix: across any shard count, the shards
+// partition the sweep — disjoint, order-preserving, and their union is
+// exactly the full experiment list.
+func TestShardUnionIsFullMatrix(t *testing.T) {
+	full := PaperMatrix(3).Experiments()
+	for _, n := range []int{1, 2, 3, 7} {
+		owner := make(map[string]int)
+		total := 0
+		for i := 1; i <= n; i++ {
+			part := Shard{Index: i, Count: n}.Select(full)
+			total += len(part)
+			for _, e := range part {
+				fp := e.Fingerprint()
+				if prev, dup := owner[fp]; dup {
+					t.Errorf("n=%d: %s owned by shards %d and %d", n, e.Name(), prev, i)
+				}
+				owner[fp] = i
+			}
+		}
+		if total != len(full) || len(owner) != len(full) {
+			t.Errorf("n=%d: shards cover %d of %d experiments", n, len(owner), len(full))
+		}
+	}
+	// The partition is keyed by fingerprint, so it is stable across
+	// expansion orders: reversing the input changes nothing but order.
+	rev := make([]Experiment, len(full))
+	for i, e := range full {
+		rev[len(full)-1-i] = e
+	}
+	a := Shard{Index: 1, Count: 3}.Select(full)
+	b := Shard{Index: 1, Count: 3}.Select(rev)
+	if len(a) != len(b) {
+		t.Fatalf("shard size depends on expansion order: %d vs %d", len(a), len(b))
+	}
+	seen := make(map[string]bool, len(a))
+	for _, e := range a {
+		seen[e.Fingerprint()] = true
+	}
+	for _, e := range b {
+		if !seen[e.Fingerprint()] {
+			t.Errorf("shard membership depends on expansion order: %s", e.Name())
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	s, err := ParseShard("2/4")
+	if err != nil || s.Index != 2 || s.Count != 4 || s.IsAll() {
+		t.Errorf("ParseShard(2/4) = %+v, %v", s, err)
+	}
+	if s, err := ParseShard("1/1"); err != nil || !s.IsAll() {
+		t.Errorf("ParseShard(1/1) = %+v, %v", s, err)
+	}
+	for _, bad := range []string{"", "3", "0/4", "5/4", "-1/4", "a/b", "1/0"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestShardCacheDirsMergeByFileCopy is the cross-machine story end to
+// end: two shards run against separate DiskCache directories, the
+// directories merge by plain file copy, and the full matrix then replays
+// entirely from the merged store with results byte-identical to a direct
+// unsharded run.
+func TestShardCacheDirsMergeByFileCopy(t *testing.T) {
+	sweep := Sweep{
+		Impls:      []string{mpiimpl.RawTCP, mpiimpl.GridMPI, mpiimpl.MPICH2},
+		Tunings:    []Tuning{{}, {TCP: true}},
+		Topologies: []Topology{Grid(1)},
+		Workloads:  []Workload{PingPongWorkload(tinySizes, 3)},
+	}
+	full := sweep.Experiments()
+	merged := t.TempDir()
+
+	for i := 1; i <= 2; i++ {
+		dir := t.TempDir()
+		store, err := NewDiskCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := Shard{Index: i, Count: 2}.Select(full)
+		if len(part) == 0 {
+			t.Fatalf("shard %d/2 is empty for a %d-cell sweep", i, len(full))
+		}
+		for _, res := range NewRunnerStore(2, store).RunAll(part) {
+			if res.Err != "" {
+				t.Fatal(res.Err)
+			}
+		}
+		// Merge = copy the entry files; nothing else to reconcile.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(merged, e.Name()), blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	mergedStore, err := NewDiskCache(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := mergedStore.Len(); n != len(full) {
+		t.Fatalf("merged store holds %d entries, want %d", n, len(full))
+	}
+	r := NewRunnerStore(2, mergedStore)
+	mergedResults := r.RunAll(full)
+	if stats := r.CacheStats(); stats.Computed != 0 || stats.Disk != int64(len(full)) {
+		t.Errorf("merged replay stats = %+v, want everything from disk", stats)
+	}
+	direct := NewRunner(2).RunAll(full)
+	if !bytes.Equal(MarshalResults(mergedResults), MarshalResults(direct)) {
+		t.Error("merged-shard replay differs from a direct unsharded run")
+	}
+}

@@ -11,7 +11,11 @@ import (
 // over that workload should use this as their single topology so labels
 // and fingerprints describe the run that actually happens.
 func Ray2MeshTopology() Topology {
-	return Topology{Sites: append([]string{}, ray2mesh.Sites...), NodesPerSite: 8}
+	layout := make([]SiteSpec, len(ray2mesh.Sites))
+	for i, name := range ray2mesh.Sites {
+		layout[i] = SiteSpec{Name: name, Nodes: ray2mesh.NodesPerSite}
+	}
+	return Topology{Layout: layout}
 }
 
 // Sweep is a cross-product of experiment axes. Empty EagerThresholds means

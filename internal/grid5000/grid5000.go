@@ -73,27 +73,55 @@ func RTT(a, b string) time.Duration {
 func OneWay(a, b string) time.Duration { return RTT(a, b) / 2 }
 
 func spec(name string) Site {
+	s, ok := Lookup(name)
+	if !ok {
+		panic("grid5000: unknown site " + name)
+	}
+	return s
+}
+
+// Lookup returns the named site's description, reporting whether it is
+// one of the four paper clusters (callers that prefer errors over panics
+// validate with it before building).
+func Lookup(name string) (Site, bool) {
 	for _, s := range Sites {
 		if s.Name == name {
-			return s
+			return s, true
 		}
 	}
-	panic("grid5000: unknown site " + name)
+	return Site{}, false
+}
+
+// SiteCount pairs a site with its node count, for layouts whose clusters
+// contribute different numbers of nodes.
+type SiteCount struct {
+	Name  string
+	Nodes int
 }
 
 // Build constructs a network with the named sites, n nodes each, 1 Gbps
 // NICs, 10 Gbps site uplinks, and the published WAN delays between every
 // pair of requested sites.
 func Build(nodesPerSite int, sites ...string) *netsim.Network {
+	layout := make([]SiteCount, len(sites))
+	for i, name := range sites {
+		layout[i] = SiteCount{Name: name, Nodes: nodesPerSite}
+	}
+	return BuildLayout(layout)
+}
+
+// BuildLayout is Build for per-site node counts: each entry contributes
+// its own number of nodes, with the same NICs, uplinks and WAN delays.
+func BuildLayout(layout []SiteCount) *netsim.Network {
 	net := netsim.New()
-	for _, name := range sites {
-		s := spec(name)
-		net.AddSite(s.Name, nodesPerSite, s.CPUSpeed, tcpsim.GigabitEthernet, IntraClusterOneWay)
+	for _, sc := range layout {
+		s := spec(sc.Name)
+		net.AddSite(s.Name, sc.Nodes, s.CPUSpeed, tcpsim.GigabitEthernet, IntraClusterOneWay)
 		net.SetUplink(s.Name, tcpsim.TenGigabitEthernet)
 	}
-	for i := 0; i < len(sites); i++ {
-		for j := i + 1; j < len(sites); j++ {
-			net.ConnectSites(sites[i], sites[j], OneWay(sites[i], sites[j]))
+	for i := 0; i < len(layout); i++ {
+		for j := i + 1; j < len(layout); j++ {
+			net.ConnectSites(layout[i].Name, layout[j].Name, OneWay(layout[i].Name, layout[j].Name))
 		}
 	}
 	return net

@@ -1,0 +1,16 @@
+package npb
+
+import "testing"
+
+// The iteration-scaling arithmetic is the one piece of skeleton behaviour
+// not observable through exp.Run's census, so it keeps an internal test.
+func TestIterationScaling(t *testing.T) {
+	p := Params{NP: 16, Scale: 0.5}
+	if got := p.iters(250); got != 125 {
+		t.Fatalf("iters(250)@0.5 = %d", got)
+	}
+	p.Scale = 0.001
+	if got := p.iters(20); got != 1 {
+		t.Fatalf("iters floor = %d, want 1", got)
+	}
+}

@@ -27,6 +27,12 @@ type Config struct {
 	// MasterSite hosts the master process (co-located with the first
 	// slave of that cluster, as 33 processes run on 32 nodes).
 	MasterSite string
+	// Layout optionally overrides the Figure 8 testbed with per-site
+	// node counts (3-site and asymmetric scenarios). Empty means the
+	// paper's four clusters with eight nodes each. MasterSite must be
+	// one of the layout's sites and the layout needs at least two nodes
+	// in total (the merge phase is an all-to-all between slaves).
+	Layout []grid5000.SiteCount
 	// Rays is the global ray count (paper: one million).
 	Rays int
 	// ChunkRays is the self-scheduling quantum (paper: 1000 rays, 69 kB).
@@ -118,21 +124,49 @@ type state struct {
 	compEnd  sim.Time
 }
 
-// Run executes the application on the four-site testbed. Any
-// non-negative ray count terminates (see runMaster's initial-round
-// accounting).
+// Layout returns the run's effective testbed layout: the configured one,
+// or the paper's four clusters of eight nodes.
+func (c Config) layout() []grid5000.SiteCount {
+	if len(c.Layout) > 0 {
+		return c.Layout
+	}
+	layout := make([]grid5000.SiteCount, len(Sites))
+	for i, s := range Sites {
+		layout[i] = grid5000.SiteCount{Name: s, Nodes: NodesPerSite}
+	}
+	return layout
+}
+
+// Run executes the application on the configured testbed (the four-site
+// Figure 8 layout unless Config.Layout overrides it). Any non-negative
+// ray count terminates (see runMaster's initial-round accounting).
 func Run(cfg Config) Result {
 	if cfg.Rays < 0 {
 		panic(fmt.Sprintf("ray2mesh: negative ray count %d", cfg.Rays))
+	}
+	layout := cfg.layout()
+	total := 0
+	masterInLayout := false
+	for _, sc := range layout {
+		total += sc.Nodes
+		if sc.Name == cfg.MasterSite {
+			masterInLayout = true
+		}
+	}
+	if !masterInLayout {
+		panic(fmt.Sprintf("ray2mesh: master site %q not in the layout", cfg.MasterSite))
+	}
+	if total < 2 {
+		panic(fmt.Sprintf("ray2mesh: %d nodes in the layout, the merge phase needs at least 2", total))
 	}
 	prof, tcp := mpiimpl.Configure(cfg.Impl, cfg.TCPTuned, cfg.MPITuned)
 	k := sim.New(1)
 	defer k.Close()
 
-	net := grid5000.RayTestbed()
+	net := grid5000.BuildLayout(layout)
 	var slaves []*netsim.Host
-	for _, s := range Sites {
-		slaves = append(slaves, net.SiteHosts(s)...)
+	for _, sc := range layout {
+		slaves = append(slaves, net.SiteHosts(sc.Name)...)
 	}
 	// Rank 0 (master) shares the first node of its site with that slave.
 	master := net.Host(cfg.MasterSite + "-1")
@@ -180,8 +214,8 @@ func Run(cfg Config) Result {
 		perSite[hosts[i].Site] += st.raysDone[i]
 		res.TotalRays += st.raysDone[i]
 	}
-	for _, s := range Sites {
-		res.RaysPerNode[s] = float64(perSite[s]) / 8
+	for _, sc := range layout {
+		res.RaysPerNode[sc.Name] = float64(perSite[sc.Name]) / float64(sc.Nodes)
 	}
 	return res
 }
