@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -69,6 +70,9 @@ func run(args []string, out, errOut io.Writer) error {
 	workers := fs.Int("workers", 0, "experiment worker-pool size (0 = one per CPU)")
 	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = in-memory only)")
 	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
+	verifyP := fs.Float64("cache-verify", 0, "instead of regenerating, re-run this deterministic sample fraction (0..1] of -cache entries and report results the current simulator no longer reproduces")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	repsFlag := fs.Int("reps", 0, "override pingpong round trips per size (0 = per-mode default)")
 	nasFlag := fs.Float64("nas-scale", 0, "override the NPB workload scale (0 = per-mode default)")
 	rayFlag := fs.Float64("ray-scale", 0, "override the ray2mesh workload scale (0 = per-mode default)")
@@ -82,6 +86,40 @@ func run(args []string, out, errOut io.Writer) error {
 	if fs.NArg() > 0 {
 		fmt.Fprintf(errOut, "unexpected arguments: %v\n", fs.Args())
 		return errFlagParse
+	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(errOut, err)
+		}
+	}()
+
+	// -cache-verify is a maintenance mode: instead of regenerating the
+	// paper, re-execute a fingerprint-keyed sample of the cache and fail
+	// loudly if the simulator has drifted from the stored results.
+	if *verifyP != 0 {
+		if *verifyP < 0 || *verifyP > 1 {
+			return fmt.Errorf("-cache-verify wants a fraction in (0, 1], got %v", *verifyP)
+		}
+		if *cacheDir == "" {
+			return fmt.Errorf("-cache-verify needs -cache")
+		}
+		rep, err := exp.VerifyDir(*cacheDir, *verifyP, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rep)
+		if len(rep.Mismatches) > 0 {
+			return fmt.Errorf("%d of %d sampled cache entries no longer reproduce — the simulator changed; bump exp.DiskSchemaVersion or evict the cache",
+				len(rep.Mismatches), rep.Sampled)
+		}
+		if !rep.OK() {
+			return fmt.Errorf("nothing verified: all %d sampled entries were unreadable (foreign schema or corrupt) — the cache needs regenerating, not verifying", rep.Sampled)
+		}
+		return nil
 	}
 
 	reps, nasScale, rayScale, traceN := core.DefaultReps, 0.25, 1.0, 200

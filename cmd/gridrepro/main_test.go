@@ -75,4 +75,81 @@ func TestBadInvocations(t *testing.T) {
 	if err := run([]string{"-cache", "\x00impossible/dir"}, &out, &errOut); err == nil {
 		t.Error("uncreatable cache dir accepted")
 	}
+	if err := run([]string{"-cache-verify", "0.5"}, &out, &errOut); err == nil {
+		t.Error("-cache-verify without -cache accepted")
+	}
+	if err := run([]string{"-cache", t.TempDir(), "-cache-verify", "1.5"}, &out, &errOut); err == nil {
+		t.Error("-cache-verify fraction > 1 accepted")
+	}
+}
+
+// TestCacheVerifyMode populates a cache with a tiny regeneration, then
+// exercises the -cache-verify maintenance mode: a clean cache verifies
+// silently, a tampered entry fails the run with a mismatch report.
+func TestCacheVerifyMode(t *testing.T) {
+	dir := t.TempDir()
+	regen(t, "-cache", dir)
+
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-cache", dir, "-cache-verify", "0.25", "-workers", "4"}, &out, &errOut); err != nil {
+		t.Fatalf("verify of a fresh cache failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 mismatched") {
+		t.Fatalf("unexpected verify report: %s", out.String())
+	}
+
+	// Tamper with one entry's measurement (keeping its experiment, and so
+	// its fingerprint, intact) and verify everything: the run must fail.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := false
+	for _, e := range entries {
+		path := filepath.Join(dir, e.Name())
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := strings.Replace(string(blob), `"elapsed": `, `"elapsed": 9`, 1)
+		if mod == string(blob) {
+			continue
+		}
+		if err := os.WriteFile(path, []byte(mod), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tampered = true
+		break
+	}
+	if !tampered {
+		t.Fatal("no entry could be tampered with")
+	}
+	out.Reset()
+	if err := run([]string{"-cache", dir, "-cache-verify", "1", "-workers", "4"}, &out, &errOut); err == nil {
+		t.Fatalf("verify of a tampered cache passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "MISMATCH") {
+		t.Fatalf("report does not name the mismatch: %s", out.String())
+	}
+}
+
+// TestProfileFlags smokes the -cpuprofile/-memprofile wiring: the files
+// must exist and be non-empty after a run.
+func TestProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile wiring only; covered by the full suite")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	regen(t, "-cpuprofile", cpu, "-memprofile", mem)
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
 }

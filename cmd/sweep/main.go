@@ -25,6 +25,7 @@ import (
 	"repro/internal/mpiimpl"
 	"repro/internal/npb"
 	"repro/internal/perf"
+	"repro/internal/profiling"
 	"repro/internal/ray2mesh"
 )
 
@@ -183,6 +184,8 @@ func run(args []string, out, errOut io.Writer) error {
 	shardStr := fs.String("shard", "", `run only shard i of n ("i/n"): a deterministic fingerprint-keyed partition of the matrix, so shards can run on different machines and their -cache directories merge by plain file copy`)
 	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	format := fs.String("format", "table", "output: table, csv, json")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -195,6 +198,15 @@ func run(args []string, out, errOut io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -format %q", *format)
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(errOut, err)
+		}
+	}()
 	if *nodes < 1 {
 		return fmt.Errorf("-nodes must be ≥ 1, got %d", *nodes)
 	}

@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// verifySeedCache populates a cache dir with a few cheap experiments and
+// returns the cache and the experiments.
+func verifySeedCache(t *testing.T) (*DiskCache, []Experiment) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := []Experiment{
+		{Impl: "TCP", Topology: Grid(1), Workload: PingPongWorkload([]int{1 << 10}, 2)},
+		{Impl: "MPICH2", Topology: Grid(1), Workload: PingPongWorkload([]int{1 << 10}, 2)},
+		{Impl: "GridMPI", Tuning: Tuning{TCP: true}, Topology: Grid(1), Workload: PingPongWorkload([]int{1 << 10, 4 << 10}, 2)},
+	}
+	r := NewRunnerStore(2, store)
+	for _, res := range r.RunAll(exps) {
+		if res.Err != "" {
+			t.Fatal(res.Err)
+		}
+	}
+	return store, exps
+}
+
+func TestVerifyCleanCache(t *testing.T) {
+	store, exps := verifySeedCache(t)
+	rep, err := store.Verify(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != len(exps) || rep.Sampled != len(exps) {
+		t.Fatalf("entries/sampled = %d/%d, want %d/%d", rep.Entries, rep.Sampled, len(exps), len(exps))
+	}
+	if !rep.OK() || rep.Unreadable != 0 {
+		t.Fatalf("clean cache did not verify: %s", rep)
+	}
+}
+
+func TestVerifyDetectsStaleResult(t *testing.T) {
+	store, exps := verifySeedCache(t)
+	// Tamper with one entry's measurement, leaving its experiment (and so
+	// its fingerprint check) intact — the signature of a cache written by
+	// an older simulator whose results have since changed.
+	fp := exps[0].Fingerprint()
+	path := filepath.Join(store.Dir(), fp+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(blob), `"elapsed": `, `"elapsed": 9`, 1)
+	if tampered == string(blob) {
+		t.Fatal("tamper marker not found in entry")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := store.Verify(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 1 {
+		t.Fatalf("mismatches = %d, want 1 (%s)", len(rep.Mismatches), rep)
+	}
+	if rep.Mismatches[0].Fingerprint != fp {
+		t.Fatalf("mismatch fingerprint = %s, want %s", rep.Mismatches[0].Fingerprint, fp)
+	}
+	if !strings.Contains(rep.String(), "MISMATCH") {
+		t.Fatalf("report does not surface the mismatch: %s", rep)
+	}
+}
+
+func TestVerifyAllUnreadableIsNotOK(t *testing.T) {
+	store, _ := verifySeedCache(t)
+	// Garble every entry: a verify pass that could re-execute nothing
+	// (e.g. after a schema bump) must not read as a clean bill of health.
+	entries, err := os.ReadDir(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(store.Dir(), e.Name()), []byte("not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := store.Verify(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unreadable != rep.Sampled || rep.Sampled == 0 {
+		t.Fatalf("expected every sampled entry unreadable: %s", rep)
+	}
+	if rep.OK() {
+		t.Fatalf("all-unreadable pass reported OK: %s", rep)
+	}
+}
+
+func TestVerifySampleFractionDeterministic(t *testing.T) {
+	store, _ := verifySeedCache(t)
+	zero, err := store.Verify(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Sampled != 0 {
+		t.Fatalf("p=0 sampled %d entries", zero.Sampled)
+	}
+	a, err := store.Verify(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.Verify(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sampled != b.Sampled {
+		t.Fatalf("same fraction sampled differently across passes: %d vs %d", a.Sampled, b.Sampled)
+	}
+	// The p=0.5 sample must be a subset of the p=1.0 sample by key, not
+	// by chance: keying is per fingerprint, so growing p only adds.
+	full, err := store.Verify(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sampled > full.Sampled {
+		t.Fatalf("fraction sample larger than full sample: %d > %d", a.Sampled, full.Sampled)
+	}
+}
+
+// prePRCacheCopy copies the committed pre-PR cache testdata into a temp
+// dir (verification never writes, but testdata stays read-only on
+// principle) and returns the copy's path.
+func prePRCacheCopy(t *testing.T) string {
+	t.Helper()
+	src := filepath.Join("testdata", "prepr-cache")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, e := range entries {
+		blob, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestPrePRCacheVerifies re-executes every entry of the committed pre-PR
+// cache directory on the current simulator. This is the strongest
+// cross-version determinism check in the suite: results computed before
+// the kernel fast-path rearchitecture must be reproduced byte-for-byte
+// by the rebuilt kernel.
+func TestPrePRCacheVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs the committed cache entries")
+	}
+	t.Parallel()
+	store, err := NewDiskCache(prePRCacheCopy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := store.Verify(1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampled == 0 || rep.Unreadable != 0 {
+		t.Fatalf("pre-PR cache not fully sampled: %s", rep)
+	}
+	if !rep.OK() {
+		t.Fatalf("current simulator no longer reproduces pre-PR results:\n%s", rep)
+	}
+}

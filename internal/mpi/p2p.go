@@ -253,7 +253,7 @@ func (r *Rank) irecv(src, tag, ctx int) *Request {
 			// an MPI buffer and must now be copied out (Figure 4, arrow 2).
 			req.Status = m.status()
 			copyCost := time.Duration(float64(m.size) / r.w.Prof.CopyRate * float64(time.Second))
-			r.w.K.After(copyCost, req.done.Fire)
+			req.done.FireAfter(copyCost)
 		} else {
 			r.acceptRndv(req, m)
 		}

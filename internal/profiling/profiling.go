@@ -1,0 +1,50 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into the CLI front-ends, so performance work profiles the real
+// workloads (a full sweep, the whole-paper regeneration) instead of
+// microbenchmarks.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges for a heap
+// profile at heapPath; either may be empty. The returned stop function
+// must run at process end (defer it in run()): it stops the CPU profile
+// and writes the heap profile.
+func Start(cpuPath, heapPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if heapPath != "" {
+			f, err := os.Create(heapPath)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // profile live retention, not transient garbage
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

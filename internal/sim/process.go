@@ -5,11 +5,11 @@ import (
 	"time"
 )
 
-// token is passed from the kernel to a process to resume it; abort asks the
-// process to unwind (used by Kernel.Close).
+// token is passed between the kernel and a process over the handoff
+// channel; abort asks the process to unwind (used by Kernel.Close).
 type token struct{ abort bool }
 
-// errAborted is the sentinel panic value used to unwind aborted processes.
+// abortError is the sentinel panic value used to unwind aborted processes.
 type abortError struct{}
 
 func (abortError) Error() string { return "sim: process aborted" }
@@ -18,11 +18,18 @@ func (abortError) Error() string { return "sim: process aborted" }
 // kernel) runs at a time; a process yields control back to the kernel by
 // blocking in virtual time (Sleep, Signal.Wait, Queue.Get). All Proc methods
 // must be called from the process's own goroutine.
+//
+// Control transfers ride a single unbuffered channel: the kernel sends a
+// resume token and then receives the yield; the process receives its
+// resume and sends when parking or finishing. The two sides strictly
+// alternate, so one channel serves both directions with one rendezvous
+// per direction (the seed design used separate resume and yield channels,
+// costing an extra allocation per process and a second channel's worth of
+// synchronization per handoff).
 type Proc struct {
 	k      *Kernel
 	name   string
-	resume chan token
-	yield  chan struct{}
+	hand   chan token
 	done   bool
 	parked bool
 }
@@ -33,8 +40,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		k:      k,
 		name:   name,
-		resume: make(chan token),
-		yield:  make(chan struct{}),
+		hand:   make(chan token),
 		parked: true, // blocked awaiting its start event
 	}
 	k.procs[p] = struct{}{}
@@ -43,22 +49,21 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 			p.done = true
 			if r := recover(); r != nil {
 				if _, ok := r.(abortError); ok {
-					// Aborted by Kernel.Close: the closer is waiting on yield.
-					p.yield <- struct{}{}
+					// Aborted by Kernel.Close: the closer awaits the yield.
+					p.hand <- token{}
 					return
 				}
-				// A real panic: surface it on the kernel goroutine by
-				// re-panicking there, then release control.
+				// A real panic: surface it, then release control.
 				panic(r)
 			}
-			p.yield <- struct{}{}
+			p.hand <- token{}
 		}()
-		if t := <-p.resume; t.abort {
+		if t := <-p.hand; t.abort {
 			panic(abortError{})
 		}
 		fn(p)
 	}()
-	k.Schedule(k.now, func() { k.transfer(p) })
+	k.scheduleProc(k.now, p)
 	return p
 }
 
@@ -69,8 +74,8 @@ func (k *Kernel) transfer(p *Proc) {
 		return
 	}
 	p.parked = false
-	p.resume <- token{}
-	<-p.yield
+	p.hand <- token{}
+	<-p.hand
 	if p.done {
 		delete(k.procs, p)
 	}
@@ -79,8 +84,8 @@ func (k *Kernel) transfer(p *Proc) {
 // park blocks the process until the kernel resumes it.
 func (p *Proc) park() {
 	p.parked = true
-	p.yield <- struct{}{}
-	if t := <-p.resume; t.abort {
+	p.hand <- token{}
+	if t := <-p.hand; t.abort {
 		panic(abortError{})
 	}
 	p.parked = false
@@ -88,8 +93,8 @@ func (p *Proc) park() {
 
 // abort unwinds a parked process. Called only from Kernel.Close.
 func (p *Proc) abort() {
-	p.resume <- token{abort: true}
-	<-p.yield
+	p.hand <- token{abort: true}
+	<-p.hand
 }
 
 // Kernel returns the kernel this process runs on.
@@ -110,7 +115,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.Schedule(p.k.now+d, func() { p.k.transfer(p) })
+	p.k.scheduleProc(p.k.now+d, p)
 	p.park()
 }
 
@@ -124,10 +129,16 @@ func (p *Proc) String() string { return fmt.Sprintf("sim.Proc(%s)", p.name) }
 // released (in Wait order) once Fire is called. Waiting on an already-fired
 // signal returns immediately. The zero value is not usable; create signals
 // with NewSignal.
+//
+// The overwhelmingly common case — a completion signal with exactly one
+// waiter (MPI request done, rendezvous CTS, buffer-space wakeups) — is
+// held in an inline slot, so Wait allocates nothing; additional waiters
+// overflow into a slice.
 type Signal struct {
-	k       *Kernel
-	fired   bool
-	waiters []*Proc
+	k     *Kernel
+	fired bool
+	w0    *Proc   // first waiter, inline
+	more  []*Proc // further waiters, in Wait order
 }
 
 // NewSignal creates an unfired Signal on this kernel.
@@ -144,11 +155,26 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
-	for _, w := range s.waiters {
-		w := w
-		s.k.Schedule(s.k.now, func() { s.k.transfer(w) })
+	if s.w0 != nil {
+		s.k.scheduleProc(s.k.now, s.w0)
+		s.w0 = nil
 	}
-	s.waiters = nil
+	for _, w := range s.more {
+		s.k.scheduleProc(s.k.now, w)
+	}
+	s.more = nil
+}
+
+// Reset rearms a fired signal so it can gate the next occurrence of a
+// recurring condition (tcpsim reuses one signal per flow for send-buffer
+// space instead of allocating one per blocked write). It must only be
+// called on a fired signal, which by construction has no waiters.
+func (s *Signal) Reset() { s.fired = false }
+
+// FireAfter schedules the signal to fire d from now as a typed event —
+// equivalent to k.After(d, s.Fire) without the method-value allocation.
+func (s *Signal) FireAfter(d time.Duration) {
+	s.k.schedule(s.k.now+d, nil, nil, s)
 }
 
 // Wait blocks p until the signal fires. p must be the calling process.
@@ -156,7 +182,13 @@ func (s *Signal) Wait(p *Proc) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	if s.w0 == nil {
+		// w0 empty implies no waiters at all: Fire and Reset clear both
+		// slots, and overflow only ever follows an occupied w0.
+		s.w0 = p
+	} else {
+		s.more = append(s.more, p)
+	}
 	p.park()
 }
 
@@ -187,8 +219,8 @@ func (q *Queue[T]) Put(v T) {
 	q.items = append(q.items, v)
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.k.Schedule(q.k.now, func() { q.k.transfer(w) })
+		popFront(&q.waiters)
+		q.k.scheduleProc(q.k.now, w)
 	}
 }
 
@@ -200,7 +232,7 @@ func (q *Queue[T]) Get(p *Proc) T {
 		p.park()
 	}
 	v := q.items[0]
-	q.items = q.items[1:]
+	popFront(&q.items)
 	return v
 }
 
@@ -211,6 +243,17 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 		return v, false
 	}
 	v = q.items[0]
-	q.items = q.items[1:]
+	popFront(&q.items)
 	return v, true
+}
+
+// popFront removes element 0 by compacting in place, keeping the slice's
+// capacity for reuse and zeroing the vacated tail slot so the backing
+// array never pins consumed values (a reslice would pin the whole prefix).
+func popFront[T any](s *[]T) {
+	v := *s
+	n := copy(v, v[1:])
+	var zero T
+	v[n] = zero
+	*s = v[:n]
 }

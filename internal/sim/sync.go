@@ -29,8 +29,8 @@ func (m *Mutex) Unlock() {
 	m.locked = false
 	if len(m.waiters) > 0 {
 		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
-		m.k.Schedule(m.k.now, func() { m.k.transfer(w) })
+		popFront(&m.waiters)
+		m.k.scheduleProc(m.k.now, w)
 	}
 }
 

@@ -48,10 +48,32 @@ type Flow struct {
 	lastActive sim.Time
 	stallUntil sim.Time // RTO stall deadline after an incast timeout
 
-	writeMu   *sim.Mutex
-	spaceFree *sim.Signal // fired when send-buffer space frees up
+	writeMu *sim.Mutex
+	// spaceFree gates a writer blocked on send-buffer space. One signal,
+	// created with the flow, is fired and rearmed per wakeup: writeMu
+	// serializes writers, so at most one process ever waits on it, and
+	// allocating a fresh Signal per blocked write (the seed behavior) is
+	// the single largest allocation source in a large-message sweep.
+	spaceFree *sim.Signal
+	wantSpace bool // a writer is parked on spaceFree
 
 	notifies []notifyEntry
+	due      []notifyEntry // deliver's reusable scratch for due callbacks
+
+	// Bound callbacks, created once per flow: the transmit loop schedules
+	// kernel events every round, and a fresh method-value or closure per
+	// Schedule call is an allocation the event loop pays millions of
+	// times per sweep. Round parameters travel in ackW/ackRoundTime/
+	// ackRateLimited (one round outstanding, guarded by busy) and delivQ
+	// (a FIFO of in-flight round end offsets; arrival times are monotone,
+	// so events pop it in order).
+	pumpFn         func()
+	deliverFn      func()
+	ackFn          func()
+	delivQ         []int64
+	ackW           int64
+	ackRoundTime   time.Duration
+	ackRateLimited bool
 
 	Stats FlowStats
 }
@@ -75,10 +97,14 @@ func NewFlow(k *sim.Kernel, path *netsim.Path, cfg Config, policy BufferPolicy) 
 		ssthresh:  math.MaxFloat64 / 4,
 		slowStart: true,
 		writeMu:   k.NewMutex(),
+		spaceFree: k.NewSignal(),
 	}
 	if f.windowCap < cfg.MSS {
 		f.windowCap = cfg.MSS
 	}
+	f.pumpFn = f.pump
+	f.deliverFn = f.deliverHead
+	f.ackFn = f.roundAckedPending
 	// A conservative initial ssthresh only matters on long paths: cluster
 	// BDPs are far below it, so local connections effectively slow-start
 	// straight to their operating window. Paced senders do not suffer the
@@ -146,7 +172,7 @@ func (f *Flow) Send(p *sim.Proc, n int64, delivered func()) {
 		// congestion window fully utilizable.
 		free := f.sndbufFree()
 		if free <= 0 {
-			f.spaceFree = f.k.NewSignal()
+			f.wantSpace = true
 			f.spaceFree.Wait(p)
 			continue
 		}
@@ -221,7 +247,7 @@ func (f *Flow) pump() {
 	}
 	now := f.k.Now()
 	if now < f.stallUntil {
-		f.k.Schedule(f.stallUntil, f.pump)
+		f.k.Schedule(f.stallUntil, f.pumpFn)
 		return
 	}
 	if f.cfg.SlowStartAfterIdle && f.lastActive > 0 && now-f.lastActive > f.rto() {
@@ -259,10 +285,28 @@ func (f *Flow) pump() {
 
 	f.busy = true
 	f.sentOff += w
-	endOff := f.sentOff
 	f.Stats.Rounds++
-	f.k.After(arrive, func() { f.deliver(endOff) })
-	f.k.After(roundTime, func() { f.roundAcked(w, roundTime, rateLimited) })
+	f.delivQ = append(f.delivQ, f.sentOff)
+	f.k.After(arrive, f.deliverFn)
+	f.ackW, f.ackRoundTime, f.ackRateLimited = w, roundTime, rateLimited
+	f.k.After(roundTime, f.ackFn)
+}
+
+// deliverHead completes the oldest in-flight round's arrival. Rounds
+// deliver in schedule order (arrival times never decrease: round n+1
+// starts no earlier than round n's serialization ends), so a FIFO of end
+// offsets matches events to rounds without a per-round closure.
+func (f *Flow) deliverHead() {
+	endOff := f.delivQ[0]
+	n := copy(f.delivQ, f.delivQ[1:])
+	f.delivQ = f.delivQ[:n]
+	f.deliver(endOff)
+}
+
+// roundAckedPending runs the pending round-completion with the parameters
+// pump recorded; busy guarantees exactly one round is outstanding.
+func (f *Flow) roundAckedPending() {
+	f.roundAcked(f.ackW, f.ackRoundTime, f.ackRateLimited)
 }
 
 // window is the usable window this round.
@@ -291,11 +335,21 @@ func (f *Flow) deliver(endOff int64) {
 	if n == 0 {
 		return
 	}
-	due := f.notifies[:n:n]
-	f.notifies = f.notifies[n:]
-	for _, e := range due {
-		e.fn()
+	// Move the due prefix to the reusable scratch, then compact the rest
+	// in place: reslicing (f.notifies = f.notifies[n:]) would pin the
+	// consumed prefix — and every callback it captured — in the backing
+	// array, and surrender the array's front capacity so later inserts
+	// reallocate. Callbacks run from the scratch because they may append
+	// fresh notifies (rendezvous chains) while we iterate.
+	f.due = append(f.due[:0], f.notifies[:n]...)
+	m := copy(f.notifies, f.notifies[n:])
+	clear(f.notifies[m:])
+	f.notifies = f.notifies[:m]
+	for i := range f.due {
+		f.due[i].fn()
 	}
+	clear(f.due) // release the callback refs until the next round
+	f.due = f.due[:0]
 }
 
 // roundAcked completes a window round: frees buffer space, grows or shrinks
@@ -305,14 +359,16 @@ func (f *Flow) roundAcked(w int64, roundTime time.Duration, rateLimited bool) {
 	f.lastActive = f.k.Now()
 	f.updateCwnd(w, roundTime, rateLimited)
 	f.busy = false
-	if f.spaceFree != nil && f.sndbufFree() > 0 {
+	if f.wantSpace && f.sndbufFree() > 0 {
 		// Wake the blocked writer first, then pump: the writer's resume
 		// event is scheduled before the pump event, so it refills the
 		// buffer and the next round sends a full window instead of the
-		// leftover tail.
+		// leftover tail. The signal is rearmed immediately — the woken
+		// writer is the only process that can Wait on it again.
+		f.wantSpace = false
 		f.spaceFree.Fire()
-		f.spaceFree = nil
-		f.k.Schedule(f.k.Now(), f.pump)
+		f.spaceFree.Reset()
+		f.k.Schedule(f.k.Now(), f.pumpFn)
 		return
 	}
 	f.pump()

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the kernel/sweep benchmarks and emit one normalized JSON
+# snapshot (ns/op, B/op, allocs/op per benchmark) for the repository's
+# BENCH trajectory (see BENCH_PR4.json for the recorded before/after of
+# the kernel fast-path PR).
+#
+# Usage:
+#   scripts/bench.sh [out.json]          # default stdout; raw `go test` output goes to stderr
+#
+# Environment:
+#   BENCH_PATTERN  benchmarks to run (default: the kernel + sweep set)
+#   BENCHTIME      -benchtime value   (default: 2s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-/dev/stdout}
+pattern=${BENCH_PATTERN:-'BenchmarkKernelEvents|BenchmarkSweepPaperMatrix|BenchmarkSweepSequential|BenchmarkSweepCacheHit'}
+benchtime=${BENCHTIME:-2s}
+
+raw=$(go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+                           -v stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns     = $(i-1)
+        if ($i == "B/op")      bytes  = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    line = sprintf("    \"%s\": {\"ns_per_op\": %s", name, ns)
+    if (bytes  != "") line = line sprintf(", \"b_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    rows[n++] = line "}"
+}
+END {
+    printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": {\n", commit, stamp
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "  }\n}\n"
+}' > "$out"

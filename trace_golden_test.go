@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/grid5000"
+	"repro/internal/mpiimpl"
+	"repro/internal/sim"
+)
+
+var updateTrace = flag.Bool("update-trace", false, "rewrite testdata/event_order.golden from the current kernel")
+
+// traceExperiments is the canonical mixed workload of the event-order
+// determinism lock: a pingpong, a collective pattern and the ray2mesh
+// application, all on a 3-site asymmetric layout. Together they exercise
+// every scheduling path of the kernel: timer events, same-instant
+// wakeups (Signal, Queue, Mutex, proc transfers), rendezvous handshakes,
+// striped/fragmented sends and the self-scheduler's AnySource matching.
+func traceExperiments() []exp.Experiment {
+	asym := exp.Asym(
+		exp.Site(grid5000.Rennes, 2),
+		exp.Site(grid5000.Nancy, 1),
+		exp.Site(grid5000.Sophia, 1),
+	)
+	return []exp.Experiment{
+		{
+			Impl:     mpiimpl.MPICH2,
+			Tuning:   exp.Tuning{TCP: true},
+			Topology: asym,
+			Workload: exp.PingPongWorkload([]int{1 << 10, 64 << 10, 1 << 20, 8 << 20}, 3),
+		},
+		{
+			Impl:     mpiimpl.OpenMPI,
+			Topology: asym,
+			Workload: exp.PatternWorkload("alltoall", 256<<10, 2),
+		},
+		{
+			// MPICH-G2 stripes large WAN messages over parallel flows,
+			// covering the multi-flow scheduling paths.
+			Impl:     mpiimpl.MPICHG2,
+			Tuning:   exp.Tuning{TCP: true, MPI: true},
+			Topology: asym,
+			Workload: exp.PatternWorkload("bcast", 2<<20, 1),
+		},
+		{
+			Impl:     mpiimpl.GridMPI,
+			Tuning:   exp.Tuning{TCP: true},
+			Topology: asym,
+			Workload: exp.Ray2MeshWorkload(grid5000.Rennes, 0.02),
+		},
+	}
+}
+
+// TestEventOrderTrace replays the committed (time, seq) execution stream
+// of the canonical mixed workload. The golden was recorded on the
+// pre-fast-path kernel (container/heap of *event, double-rendezvous
+// handoff), so any reordering introduced by a kernel optimization —
+// including a changed seq assignment — fails this test byte-exactly at
+// the first diverging event. Regenerate only for a deliberate semantic
+// change, with -update-trace.
+func TestEventOrderTrace(t *testing.T) {
+	var buf bytes.Buffer
+	sim.NewHook = func(k *sim.Kernel) {
+		k.SetTracer(func(at sim.Time, seq uint64) {
+			fmt.Fprintf(&buf, "%d %d\n", int64(at), seq)
+		})
+	}
+	defer func() { sim.NewHook = nil }()
+
+	for _, e := range traceExperiments() {
+		fmt.Fprintf(&buf, "# %s\n", e.Name())
+		res := exp.Run(e)
+		if res.Err != "" {
+			t.Fatalf("%s: %s", e.Name(), res.Err)
+		}
+		if res.DNF {
+			t.Fatalf("%s: did not finish", e.Name())
+		}
+		fmt.Fprintf(&buf, "= elapsed %d\n", int64(res.Elapsed))
+	}
+
+	golden := filepath.Join("testdata", "event_order.golden")
+	if *updateTrace {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %d bytes, %d lines", golden, buf.Len(), bytes.Count(buf.Bytes(), []byte("\n")))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (generate with -update-trace): %v", err)
+	}
+	got := buf.Bytes()
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines, wantLines := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("event order diverged at line %d:\n  got  %q\n  want %q",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("event stream length changed: got %d lines, want %d", len(gotLines), len(wantLines))
+}
