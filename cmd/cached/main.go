@@ -1,0 +1,116 @@
+// Command cached serves a persistent experiment-result cache directory
+// (an exp.DiskCache) over HTTP, turning it into the shared store of a
+// cross-machine sweep: shard workers started with `sweep -shard i/n
+// -cache-remote http://host:8077` pull warm entries from it and push
+// fresh results back, replacing the old merge-shard-directories-by-file-
+// copy workflow. One instance serves any number of concurrent workers.
+//
+//	cached -cache /srv/repro-cache -addr :8077
+//
+// Endpoints (see exp.NewCacheHandler): GET /healthz, GET /v1/results
+// (fingerprint index), and GET/HEAD/PUT /v1/results/<fingerprint>.
+// Every PUT is re-verified on ingest — schema generation and
+// fingerprint re-hash — so a stale or foreign-generation peer cannot
+// poison the store; writes are atomic and idempotent.
+//
+// The server is stateless beyond the directory: stop it and the
+// directory remains an ordinary -cache dir (replayable, evictable,
+// verifiable with gridrepro -cache-verify); restart it and the entries
+// are served again.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+}
+
+// errFlagParse marks a parse failure the FlagSet has already reported on
+// stderr; main must not print it a second time.
+var errFlagParse = errors.New("flag parsing failed")
+
+// stop receives the shutdown signals; tests inject into it directly.
+var stop = make(chan os.Signal, 1)
+
+// logRequests is the -v middleware: one stderr line per request.
+func logRequests(h http.Handler, errOut io.Writer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(errOut, "cached: %s %s from %s\n", r.Method, r.URL.Path, r.RemoteAddr)
+		h.ServeHTTP(w, r)
+	})
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("cached", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	dir := fs.String("cache", "", "cache directory to serve (required; created if missing)")
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address (host:port; port 0 picks a free one)")
+	verbose := fs.Bool("v", false, "log every request to stderr")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse // already reported by the FlagSet
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(errOut, "unexpected arguments: %v\n", fs.Args())
+		return errFlagParse
+	}
+	if *dir == "" {
+		return fmt.Errorf("-cache is required: the directory to serve")
+	}
+	store, err := exp.NewDiskCache(*dir)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	var handler http.Handler = exp.NewCacheHandler(store)
+	if *verbose {
+		handler = logRequests(handler, errOut)
+	}
+	n, err := store.Len()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cached: serving %s (%d entries) on http://%s\n", store.Dir(), n, ln.Addr())
+
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(errOut, "cached: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

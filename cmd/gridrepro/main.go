@@ -9,7 +9,10 @@
 // persist to a content-addressed disk store keyed by experiment
 // fingerprint: an immediately repeated invocation recomputes nothing and
 // serves every cell from disk (the cache summary on stderr reports the
-// split).
+// split). With -cache-remote URL, the backing store is a shared
+// cmd/cached server instead, and -cache becomes its local read-through
+// tier — a machine that has never run the reproduction regenerates the
+// whole paper from a warm server without executing one experiment.
 //
 // With -quick, reduced repetition counts and workload scales are used
 // (the shapes are unchanged; only sampling density drops). The -reps,
@@ -69,6 +72,7 @@ func run(args []string, out, errOut io.Writer) error {
 	quick := fs.Bool("quick", false, "use reduced repetitions and workload scales")
 	workers := fs.Int("workers", 0, "experiment worker-pool size (0 = one per CPU)")
 	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = in-memory only)")
+	remoteURL := fs.String("cache-remote", "", "remote result-cache server URL (a cmd/cached instance); with -cache, the directory becomes its local read-through/write-behind tier")
 	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	verifyP := fs.Float64("cache-verify", 0, "instead of regenerating, re-run this deterministic sample fraction (0..1] of -cache entries and report results the current simulator no longer reproduces")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -151,7 +155,7 @@ func run(args []string, out, errOut io.Writer) error {
 		evict = p
 	}
 
-	r, err := exp.NewRunnerDir(*workers, *cacheDir)
+	r, remote, err := exp.NewRunnerCache(*workers, *cacheDir, *remoteURL)
 	if err != nil {
 		return err
 	}
@@ -205,10 +209,18 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	stats := r.CacheStats()
-	fmt.Fprintf(errOut, "cache: %d computed, %d from disk, %d from memory (%d distinct experiments)\n",
-		stats.Computed, stats.Disk, stats.Memory, r.CacheLen())
+	// With a remote store the backing tier is not (only) local disk.
+	source := "from disk"
+	if remote != nil {
+		source = "from store"
+	}
+	fmt.Fprintf(errOut, "cache: %d computed, %d %s, %d from memory (%d distinct experiments)\n",
+		stats.Computed, stats.Disk, source, stats.Memory, r.CacheLen())
 	if stats.StoreErrors > 0 {
 		fmt.Fprintf(errOut, "warning: %d results could not be written to the disk cache\n", stats.StoreErrors)
+	}
+	if remote != nil {
+		fmt.Fprintln(errOut, remote.Stats())
 	}
 	if evict != (exp.EvictPolicy{}) {
 		rep, err := exp.EvictDir(*cacheDir, evict)

@@ -10,6 +10,14 @@
 //	sweep -reps 200 -workers 8
 //	sweep -workload npb:all -topo grid -nodes 8 -scale 0.1
 //	sweep -workload pattern:alltoall -size 1M -iters 5 -format csv
+//
+// Results persist to a local directory (-cache) and/or a shared
+// cmd/cached server (-cache-remote); -shard i/n partitions a matrix
+// across machines that all point at one server, and -push/-pull sync an
+// existing cache directory with a server one-shot:
+//
+//	sweep -shard 1/4 -cache-remote http://stately:8077
+//	sweep -cache ~/.cache/sweep -cache-remote http://stately:8077 -push
 package main
 
 import (
@@ -181,7 +189,10 @@ func run(args []string, out, errOut io.Writer) error {
 	maxSizeStr := fs.String("max-size", "64M", "largest pingpong message size")
 	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	cacheDir := fs.String("cache", "", "persistent result-cache directory (empty = in-memory only)")
-	shardStr := fs.String("shard", "", `run only shard i of n ("i/n"): a deterministic fingerprint-keyed partition of the matrix, so shards can run on different machines and their -cache directories merge by plain file copy`)
+	remoteURL := fs.String("cache-remote", "", "remote result-cache server URL (a cmd/cached instance); with -cache, the directory becomes its local read-through/write-behind tier")
+	pushFlag := fs.Bool("push", false, "instead of sweeping, upload every -cache entry the -cache-remote server is missing, then exit")
+	pullFlag := fs.Bool("pull", false, "instead of sweeping, download every -cache-remote entry missing from -cache, then exit (with -push too: pull first, then push)")
+	shardStr := fs.String("shard", "", `run only shard i of n ("i/n"): a deterministic fingerprint-keyed partition of the matrix, so shards on different machines can share one -cache-remote server (or merge their -cache directories by plain file copy)`)
 	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	format := fs.String("format", "table", "output: table, csv, json")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -197,6 +208,42 @@ func run(args []string, out, errOut io.Writer) error {
 	case "table", "csv", "json":
 	default:
 		return fmt.Errorf("unknown -format %q", *format)
+	}
+	// -push / -pull are one-shot sync modes: no sweep runs, the local
+	// -cache directory is reconciled with the -cache-remote server.
+	if *pushFlag || *pullFlag {
+		if *cacheDir == "" || *remoteURL == "" {
+			return fmt.Errorf("-push/-pull need both -cache (the local directory) and -cache-remote (the server)")
+		}
+		local, err := exp.NewDiskCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		remote, err := exp.NewRemoteStore(*remoteURL, local)
+		if err != nil {
+			return err
+		}
+		failed := 0
+		if *pullFlag {
+			rep, err := remote.Pull()
+			if err != nil {
+				return fmt.Errorf("pull: %w", err)
+			}
+			fmt.Fprintf(out, "pull: %s\n", rep)
+			failed += rep.Failed
+		}
+		if *pushFlag {
+			rep, err := remote.Push()
+			if err != nil {
+				return fmt.Errorf("push: %w", err)
+			}
+			fmt.Fprintf(out, "push: %s\n", rep)
+			failed += rep.Failed
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d entries failed to sync", failed)
+		}
+		return nil
 	}
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -273,7 +320,7 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	sweep := exp.Sweep{Impls: impls, Tunings: tunings, Topologies: topos, Workloads: workloads}
 	exps := shard.Select(sweep.Experiments())
-	runner, err := exp.NewRunnerDir(*workers, *cacheDir)
+	runner, remote, err := exp.NewRunnerCache(*workers, *cacheDir, *remoteURL)
 	if err != nil {
 		return err
 	}
@@ -300,10 +347,18 @@ func run(args []string, out, errOut io.Writer) error {
 		fmt.Fprintf(out, "%d experiments, %d workers, wall time %v\n",
 			len(results), runner.Workers(), wall.Round(time.Millisecond))
 	}
-	if *cacheDir != "" {
+	if *cacheDir != "" || *remoteURL != "" {
 		stats := runner.CacheStats()
-		fmt.Fprintf(errOut, "cache: %d computed, %d from disk, %d from memory\n",
-			stats.Computed, stats.Disk, stats.Memory)
+		// With a remote store the backing tier is not (only) local disk.
+		source := "from disk"
+		if remote != nil {
+			source = "from store"
+		}
+		fmt.Fprintf(errOut, "cache: %d computed, %d %s, %d from memory\n",
+			stats.Computed, stats.Disk, source, stats.Memory)
+	}
+	if remote != nil {
+		fmt.Fprintln(errOut, remote.Stats())
 	}
 	if evict != (exp.EvictPolicy{}) {
 		rep, err := exp.EvictDir(*cacheDir, evict)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -169,6 +170,98 @@ func TestRunShardsPartitionAndMerge(t *testing.T) {
 	}
 	if !strings.Contains(mergedErr, "0 computed, 4 from disk") {
 		t.Errorf("merged replay recomputed cells: %s", mergedErr)
+	}
+}
+
+// newCacheServer starts an in-process cached server over a fresh
+// DiskCache directory.
+func newCacheServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	store, err := exp.NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(exp.NewCacheHandler(store))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunRemoteCache: shard runs publish to one cached server; a replay
+// through the same server recomputes nothing and renders output
+// identical to a serverless run.
+func TestRunRemoteCache(t *testing.T) {
+	srv := newCacheServer(t)
+	for _, shard := range []string{"1/2", "2/2"} {
+		var out, errOut strings.Builder
+		args := append([]string{"-format", "json", "-shard", shard, "-cache-remote", srv.URL}, tinyArgs...)
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("shard %s: %v\n%s", shard, err, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "pushed") {
+			t.Errorf("shard %s reported no remote stats: %s", shard, errOut.String())
+		}
+	}
+	var remoteOut, remoteErr strings.Builder
+	if err := run(append([]string{"-format", "json", "-cache-remote", srv.URL}, tinyArgs...), &remoteOut, &remoteErr); err != nil {
+		t.Fatalf("remote replay: %v\n%s", err, remoteErr.String())
+	}
+	var directOut, directErr strings.Builder
+	if err := run(append([]string{"-format", "json"}, tinyArgs...), &directOut, &directErr); err != nil {
+		t.Fatal(err)
+	}
+	if remoteOut.String() != directOut.String() {
+		t.Error("remote replay differs from the direct run")
+	}
+	if !strings.Contains(remoteErr.String(), "cache: 0 computed") {
+		t.Errorf("remote replay recomputed cells: %s", remoteErr.String())
+	}
+	if !strings.Contains(remoteErr.String(), "remote: 4 hits") {
+		t.Errorf("remote replay not served remotely: %s", remoteErr.String())
+	}
+}
+
+// TestRunPushPull: the one-shot sync modes move a warmed -cache
+// directory through a server into a fresh one, which then replays the
+// sweep without recomputing.
+func TestRunPushPull(t *testing.T) {
+	srv := newCacheServer(t)
+	warmed := t.TempDir()
+	var out, errOut strings.Builder
+	if err := run(append([]string{"-cache", warmed}, tinyArgs...), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-cache", warmed, "-cache-remote", srv.URL, "-push"}, &out, &errOut); err != nil {
+		t.Fatalf("push: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "push: 4 entries scanned: 4 transferred") {
+		t.Errorf("push report: %s", out.String())
+	}
+	pulled := t.TempDir()
+	out.Reset()
+	if err := run([]string{"-cache", pulled, "-cache-remote", srv.URL, "-pull"}, &out, &errOut); err != nil {
+		t.Fatalf("pull: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "pull: 4 entries scanned: 4 transferred") {
+		t.Errorf("pull report: %s", out.String())
+	}
+	var replayOut, replayErr strings.Builder
+	if err := run(append([]string{"-cache", pulled}, tinyArgs...), &replayOut, &replayErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(replayErr.String(), "0 computed, 4 from disk") {
+		t.Errorf("pulled directory did not serve the replay: %s", replayErr.String())
+	}
+
+	// Sync modes need both sides named.
+	for _, args := range [][]string{
+		{"-push"},
+		{"-pull", "-cache", warmed},
+		{"-push", "-cache-remote", srv.URL},
+	} {
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// NewCacheHandler exposes a DiskCache directory over HTTP — the handler
+// cmd/cached serves and RemoteStore speaks to.
+//
+// Routes:
+//
+//	GET  /healthz               liveness probe ("ok")
+//	GET  /v1/results            sorted JSON array of committed fingerprints
+//	HEAD /v1/results/<fp>       200 when a loadable entry exists, else 404
+//	GET  /v1/results/<fp>       the entry's schema-version envelope
+//	PUT  /v1/results/<fp>       ingest one envelope
+//
+// Serving re-verifies: GET/HEAD answer 200 only for entries that pass
+// the full trust gate (parse + current DiskSchemaVersion + fingerprint
+// re-hash), so a corrupt file on the server never propagates. Ingest
+// re-verifies harder: a PUT whose body fails the same gate — a stale
+// peer from a foreign schema generation, an entry whose experiment does
+// not hash back to the URL's fingerprint, plain garbage — is rejected
+// with 422 before it touches the directory, so no peer can poison the
+// shared store. Accepted entries go through DiskCache.Store's atomic
+// temp-file+rename, which makes concurrent PUTs of one fingerprint
+// idempotent (content-addressed writers always carry identical
+// payloads).
+func NewCacheHandler(c *DiskCache) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET "+resultsPath, func(w http.ResponseWriter, r *http.Request) {
+		fps, err := c.Fingerprints()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if fps == nil {
+			fps = []string{} // an empty store is "[]", not "null"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(schemaHeader, strconv.Itoa(DiskSchemaVersion))
+		json.NewEncoder(w).Encode(fps)
+	})
+	mux.HandleFunc("GET "+resultsPath+"/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		fp, ok := entryKey(w, r)
+		if !ok {
+			return
+		}
+		res, ok := c.Load(fp)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		blob, err := json.Marshal(diskEntry{Schema: DiskSchemaVersion, Result: res})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(schemaHeader, strconv.Itoa(DiskSchemaVersion))
+		w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+		w.Write(blob)
+	})
+	mux.HandleFunc("PUT "+resultsPath+"/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		fp, ok := entryKey(w, r)
+		if !ok {
+			return
+		}
+		blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("entry exceeds %d bytes", maxEntryBytes), http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, fmt.Sprintf("read entry: %v", err), http.StatusBadRequest)
+			return
+		}
+		res, err := decodeEntry(blob, fp)
+		if err != nil {
+			// The one status RemoteStore surfaces loudly: the peer's
+			// entry is untrustworthy and was refused, not stored.
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		if err := c.Store(fp, res); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// entryKey extracts and validates the {fp} path element. Anything that
+// is not exactly a fingerprint (16 lowercase hex digits) is 404 — it
+// cannot name an entry, and rejecting it up front keeps path data out
+// of filesystem operations entirely.
+func entryKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	fp := r.PathValue("fp")
+	if !fingerprintPat.MatchString(fp) {
+		http.NotFound(w, r)
+		return "", false
+	}
+	return fp, true
+}

@@ -11,15 +11,6 @@ import (
 	"time"
 )
 
-// Store is a persistent backing layer for a Runner's in-memory result
-// cache, keyed by experiment fingerprint. Implementations must be safe
-// for concurrent use; a Load that cannot produce a trustworthy result
-// reports a miss rather than an error (the Runner simply re-runs).
-type Store interface {
-	Load(fingerprint string) (Result, bool)
-	Store(fingerprint string, res Result) error
-}
-
 // DiskCache is a content-addressed, persistent experiment-result store:
 // one JSON file per experiment fingerprint under a single directory.
 // Because every Result is a pure function of its Experiment and the
@@ -72,6 +63,31 @@ func (c *DiskCache) path(fp string) string {
 	return filepath.Join(c.dir, fp+".json")
 }
 
+// decodeEntry parses and verifies one schema-version envelope against
+// the fingerprint it claims to be: the blob must parse, carry the
+// current DiskSchemaVersion generation (entries written before
+// versioning read as 1), and the embedded experiment must hash back to
+// fp. It is the single trust gate shared by DiskCache.Load, the
+// RemoteStore client, and the cmd/cached ingest path — wherever an
+// entry crosses a process boundary, it passes through here first.
+func decodeEntry(blob []byte, fp string) (Result, error) {
+	var entry diskEntry
+	if err := json.Unmarshal(blob, &entry); err != nil {
+		return Result{}, fmt.Errorf("exp: unparsable cache entry: %v", err)
+	}
+	schema := entry.Schema
+	if schema == 0 {
+		schema = 1 // pre-versioning entries
+	}
+	if schema != DiskSchemaVersion {
+		return Result{}, fmt.Errorf("exp: foreign schema generation %d (this build writes %d)", schema, DiskSchemaVersion)
+	}
+	if got := entry.Exp.Fingerprint(); got != fp {
+		return Result{}, fmt.Errorf("exp: entry experiment hashes to %s, not %s", got, fp)
+	}
+	return entry.Result, nil
+}
+
 // Load reads one entry. Any defect — missing file, unparsable JSON, a
 // foreign schema generation, or an entry whose stored experiment does
 // not hash back to the requested fingerprint — is a miss.
@@ -80,21 +96,11 @@ func (c *DiskCache) Load(fp string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	var entry diskEntry
-	if err := json.Unmarshal(blob, &entry); err != nil {
+	res, err := decodeEntry(blob, fp)
+	if err != nil {
 		return Result{}, false
 	}
-	schema := entry.Schema
-	if schema == 0 {
-		schema = 1 // pre-versioning entries
-	}
-	if schema != DiskSchemaVersion {
-		return Result{}, false
-	}
-	if entry.Exp.Fingerprint() != fp {
-		return Result{}, false
-	}
-	return entry.Result, true
+	return res, true
 }
 
 // Store writes one entry atomically: marshal, write to a temp file in
@@ -192,6 +198,7 @@ type EvictReport struct {
 	RemainingBytes int64
 }
 
+// String is the one-line pass summary the -cache-evict flag prints.
 func (r EvictReport) String() string {
 	return fmt.Sprintf("cache evict: removed %d of %d entries (%d bytes), %d bytes remain",
 		r.Removed, r.Scanned, r.RemovedBytes, r.RemainingBytes)
@@ -287,4 +294,30 @@ func (c *DiskCache) Len() (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// Fingerprints lists the committed entry keys, sorted. Only file names
+// that are actually fingerprints count — in-flight temp files and stray
+// foreign .json files in the directory are excluded, so the sync and
+// index paths built on this enumeration never chase keys no Load could
+// serve. Entries are not verified (Load does that when they are read).
+func (c *DiskCache) Fingerprints() ([]string, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var fps []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".json" {
+			continue
+		}
+		fp := strings.TrimSuffix(name, ".json")
+		if !fingerprintPat.MatchString(fp) {
+			continue
+		}
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	return fps, nil
 }

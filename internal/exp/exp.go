@@ -8,7 +8,11 @@
 // bandwidth trace, a collective/point-to-point pattern, an NPB kernel, or
 // the ray2mesh application). A Sweep expands cross-products of those axes
 // into a work list, and a Runner executes the list across a bounded worker
-// pool with result caching keyed by experiment fingerprint.
+// pool with result caching keyed by experiment fingerprint. Results
+// persist through the Store tier: a DiskCache directory on the local
+// machine, or a RemoteStore speaking to a shared cmd/cached server with
+// the DiskCache as its read-through tier — which is how one sweep matrix
+// is sharded across machines (Shard) without ever recomputing a cell.
 //
 // Every experiment builds its own sim.Kernel, netsim.Network and tcpsim
 // state, so individual runs stay byte-for-byte deterministic while a batch
@@ -51,6 +55,8 @@ type Tuning struct {
 // (Figure 7).
 var TuningLevels = []Tuning{{}, {TCP: true}, {TCP: true, MPI: true}}
 
+// String names the level as the figures do: "default", "tcp-tuned",
+// "fully-tuned" (or "mpi-tuned" for the off-matrix MPI-only combination).
 func (t Tuning) String() string {
 	switch {
 	case t.TCP && t.MPI:
@@ -164,6 +170,9 @@ func FabricWorkload(oneWay time.Duration, rate float64, stack, gateway time.Dura
 	}
 }
 
+// String is the workload's one-line label in names, matrix columns and
+// CSV rows. It is presentation only — the cache key is the fingerprint
+// of the normalized JSON, never this string.
 func (w Workload) String() string {
 	switch w.Kind {
 	case KindPingPong:
@@ -204,7 +213,13 @@ func (w Workload) timeout() time.Duration {
 	return w.Timeout
 }
 
-// Experiment is one fully specified run.
+// Experiment is one fully specified run. Its JSON encoding is frozen —
+// the fingerprint (and therefore every persistent cache entry, local or
+// remote) is a hash of these bytes, so tags, field order and the
+// zero-value omissions must not change; a new axis must be added as an
+// omitempty field whose zero value reproduces the old bytes. When a
+// change to the simulation makes old cached results untrustworthy
+// without changing this encoding, bump DiskSchemaVersion instead.
 type Experiment struct {
 	Impl     string   `json:"impl"`
 	Tuning   Tuning   `json:"tuning"`
@@ -236,9 +251,13 @@ func (e Experiment) normalized() Experiment {
 	return e
 }
 
-// Fingerprint is a stable content hash of the experiment definition, the
-// Runner's cache key. Zero-value workload aliases are normalized first,
-// so e.g. NPB at Scale 0 and Scale 1.0 share a key.
+// Fingerprint is a stable content hash of the experiment definition
+// (SHA-256 of the normalized JSON, truncated to 16 hex digits): the
+// Runner's cache key, the DiskCache file name, the cmd/cached wire
+// address, and the shard/verify partition key. Zero-value workload
+// aliases are normalized first, so e.g. NPB at Scale 0 and Scale 1.0
+// share a key. Stable across processes, machines and releases — a
+// cache directory written by an old build keeps serving the new one.
 func (e Experiment) Fingerprint() string {
 	blob, err := json.Marshal(e.normalized())
 	if err != nil {
@@ -609,4 +628,3 @@ func runFabric(res *Result) {
 	res.Elapsed = k.Now()
 	res.fill(world, err)
 }
-

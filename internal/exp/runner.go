@@ -72,6 +72,30 @@ func NewRunnerDir(workers int, dir string) (*Runner, error) {
 	return NewRunnerStore(workers, store), nil
 }
 
+// NewRunnerCache is the CLI wiring of the -cache/-cache-remote flag
+// pair. With a remote URL, the runner's backing store is a RemoteStore
+// (returned so the front-end can report its counters); a non-empty dir
+// then becomes its local read-through/write-behind tier. Without one,
+// this is exactly NewRunnerDir and the returned RemoteStore is nil.
+func NewRunnerCache(workers int, dir, remote string) (*Runner, *RemoteStore, error) {
+	if remote == "" {
+		r, err := NewRunnerDir(workers, dir)
+		return r, nil, err
+	}
+	var local *DiskCache
+	if dir != "" {
+		var err error
+		if local, err = NewDiskCache(dir); err != nil {
+			return nil, nil, err
+		}
+	}
+	rs, err := NewRemoteStore(remote, local)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewRunnerStore(workers, rs), rs, nil
+}
+
 // Workers returns the pool size.
 func (r *Runner) Workers() int { return r.workers }
 

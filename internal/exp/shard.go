@@ -36,6 +36,7 @@ func ParseShard(s string) (Shard, error) {
 	return Shard{Index: i, Count: n}, nil
 }
 
+// String renders the CLI spelling, "i/n".
 func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
 
 // IsAll reports the degenerate whole-matrix shard (zero value or 1/1).

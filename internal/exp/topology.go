@@ -211,6 +211,9 @@ func (t Topology) uniformNodes() (int, bool) {
 	return n, true
 }
 
+// String is the topology's one-line label ("rennes+nancy x8", or
+// per-site counts for asymmetric layouts, plus any placement and WAN
+// overrides). Presentation only; the cache key is the JSON fingerprint.
 func (t Topology) String() string {
 	var s string
 	if n, ok := t.uniformNodes(); ok {

@@ -46,6 +46,8 @@ func (r VerifyReport) OK() bool {
 	return r.Sampled == 0 || r.Unreadable < r.Sampled
 }
 
+// String is the multi-line report -cache-verify prints: the pass
+// summary plus one line per mismatched entry.
 func (r VerifyReport) String() string {
 	s := fmt.Sprintf("cache verify: %d of %d entries sampled, %d mismatched, %d unreadable",
 		r.Sampled, r.Entries, len(r.Mismatches), r.Unreadable)
