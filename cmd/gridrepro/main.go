@@ -77,6 +77,7 @@ func run(args []string, out, errOut io.Writer) error {
 	verifyP := fs.Float64("cache-verify", 0, "instead of regenerating, re-run this deterministic sample fraction (0..1] of -cache entries and report results the current simulator no longer reproduces")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	faultsStr := fs.String("faults", "", `append a reliability-matrix section: the paper's impl × tuning grid re-run under this fault plan (syntax: "seed=N; <time> down|up site=S; <time> loss <p>; <time> jitter <dur>")`)
 	repsFlag := fs.Int("reps", 0, "override pingpong round trips per size (0 = per-mode default)")
 	nasFlag := fs.Float64("nas-scale", 0, "override the NPB workload scale (0 = per-mode default)")
 	rayFlag := fs.Float64("ray-scale", 0, "override the ray2mesh workload scale (0 = per-mode default)")
@@ -180,6 +181,17 @@ func run(args []string, out, errOut io.Writer) error {
 		{"extension-g2", func() string { return core.RenderExtensionMPICHG2(core.ExtensionMPICHG2(r, reps)) }},
 		{"extension-het", func() string { return core.RenderExtensionHeterogeneity(core.ExtensionHeterogeneity(r, reps)) }},
 		{"buffer-sweep", func() string { return core.RenderBufferSweep(core.BufferSweep(r, reps)) }},
+	}
+	// The reliability matrix only exists under -faults, so the default
+	// section list — and with it the stdout golden — is untouched.
+	if *faultsStr != "" {
+		plan, err := exp.ParseFaultPlan(*faultsStr)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, section{"reliability", func() string {
+			return core.RenderReliabilityMatrix(plan, core.ReliabilityMatrix(r, reps, plan))
+		}})
 	}
 
 	// Every section generates concurrently; the runner's semaphore keeps

@@ -64,10 +64,34 @@ func TestStdoutMatchesPrePRGolden(t *testing.T) {
 	}
 }
 
+// TestFaultsAppendReliabilitySection: -faults tacks the reliability matrix
+// onto the end of the regeneration without moving a byte of the paper's
+// own sections — the pre-PR golden must remain an exact prefix.
+func TestFaultsAppendReliabilitySection(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "quick_tiny.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := regen(t, "-workers", "8",
+		"-faults", "seed=7; 20ms down site=rennes; 120ms up site=rennes; 0s loss 0.02")
+	if !strings.HasPrefix(out, string(golden)) {
+		t.Fatal("-faults disturbed the paper sections preceding the reliability matrix")
+	}
+	tail := out[len(golden):]
+	for _, want := range []string{"Reliability: the paper's matrix under faults", "seed=7", "kept", "retrans"} {
+		if !strings.Contains(tail, want) {
+			t.Errorf("reliability section missing %q:\n%s", want, tail)
+		}
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-bogus"}, &out, &errOut); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-faults", "1s frobnicate site=rennes"}, &out, &errOut); err == nil {
+		t.Error("malformed -faults plan accepted")
 	}
 	if err := run([]string{"extra"}, &out, &errOut); err == nil {
 		t.Error("positional arguments accepted")

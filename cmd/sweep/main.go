@@ -10,6 +10,7 @@
 //	sweep -reps 200 -workers 8
 //	sweep -workload npb:all -topo grid -nodes 8 -scale 0.1
 //	sweep -workload pattern:alltoall -size 1M -iters 5 -format csv
+//	sweep -faults "seed=7; 0s loss 0.02; 100ms jitter 2ms site=nancy"
 //
 // Results persist to a local directory (-cache) and/or a shared
 // cmd/cached server (-cache-remote); -shard i/n partitions a matrix
@@ -192,6 +193,7 @@ func run(args []string, out, errOut io.Writer) error {
 	remoteURL := fs.String("cache-remote", "", "remote result-cache server URL (a cmd/cached instance); with -cache, the directory becomes its local read-through/write-behind tier")
 	pushFlag := fs.Bool("push", false, "instead of sweeping, upload every -cache entry the -cache-remote server is missing, then exit")
 	pullFlag := fs.Bool("pull", false, "instead of sweeping, download every -cache-remote entry missing from -cache, then exit (with -push too: pull first, then push)")
+	faultsStr := fs.String("faults", "", `seeded fault plan applied to every experiment: semicolon-separated clauses "seed=N", "<time> down|up site=S|host=H", "<time> loss <p> [site=|host=]", "<time> jitter <dur> [site=|host=]" — e.g. "seed=7; 100ms down site=rennes; 300ms up site=rennes"`)
 	shardStr := fs.String("shard", "", `run only shard i of n ("i/n"): a deterministic fingerprint-keyed partition of the matrix, so shards on different machines can share one -cache-remote server (or merge their -cache directories by plain file copy)`)
 	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	format := fs.String("format", "table", "output: table, csv, json")
@@ -318,8 +320,20 @@ func run(args []string, out, errOut io.Writer) error {
 			topos = []exp.Topology{exp.Ray2MeshTopology()}
 		}
 	}
+	faults, err := exp.ParseFaultPlan(*faultsStr)
+	if err != nil {
+		return err
+	}
 	sweep := exp.Sweep{Impls: impls, Tunings: tunings, Topologies: topos, Workloads: workloads}
-	exps := shard.Select(sweep.Experiments())
+	all := sweep.Experiments()
+	// Faults apply before sharding: the partition keys on the faulted
+	// fingerprints, so every shard of a faulted matrix agrees on ownership.
+	if faults != nil {
+		for i := range all {
+			all[i].Faults = faults
+		}
+	}
+	exps := shard.Select(all)
 	runner, remote, err := exp.NewRunnerCache(*workers, *cacheDir, *remoteURL)
 	if err != nil {
 		return err

@@ -115,11 +115,60 @@ func TestRunBadFlags(t *testing.T) {
 		{"-shard", "x"},
 		{"-cache-evict", "720h"}, // needs -cache
 		{"-cache-evict", "nonsense", "-cache", "cachedir"},
+		{"-faults", "1s frobnicate site=rennes"},
+		{"-faults", "20ms down site=rennes; 120ms up site=rennes", "-workload", "ray2mesh:rennes"},
 		{"-format", "xml", "-impls", "TCP", "-tunings", "default", "-reps", "1", "-max-size", "1k"},
 	} {
 		if err := run(args, &out, &errOut); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// faultSpec is the tiny seeded plan the fault tests share: a 100ms
+// rennes-uplink outage over 2% background loss.
+const faultSpec = "seed=7; 20ms down site=rennes; 120ms up site=rennes; 0s loss 0.02"
+
+// TestRunFaultsDeterministicAndCacheable is the fault-smoke CI contract in
+// miniature: a seeded faulted sweep is worker-count independent, replays
+// bit-for-bit from the disk cache, and keys that cache on the plan — a
+// healthy run must never be served a faulted cell.
+func TestRunFaultsDeterministicAndCacheable(t *testing.T) {
+	dir := t.TempDir()
+	render := func(extra ...string) (string, string) {
+		var out, errOut strings.Builder
+		args := append(append([]string{"-format", "json", "-faults", faultSpec}, extra...),
+			tinyArgs[:len(tinyArgs)-2]...) // tinyArgs minus its -workers pair
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("run %v: %v\n%s", extra, err, errOut.String())
+		}
+		return out.String(), errOut.String()
+	}
+	seq, _ := render("-workers", "1", "-cache", dir)
+	par, _ := render("-workers", "8")
+	if seq != par {
+		t.Fatal("faulted sweep differs between 1 and 8 workers")
+	}
+	replay, replayErr := render("-workers", "8", "-cache", dir)
+	if replay != seq {
+		t.Fatal("cached faulted replay rendered different JSON")
+	}
+	if !strings.Contains(replayErr, "0 computed, 4 from disk") {
+		t.Errorf("faulted replay recomputed cells: %s", replayErr)
+	}
+	if !strings.Contains(seq, "fault_link_stalls") {
+		t.Error("faulted sweep JSON carries no degraded-mode metrics")
+	}
+
+	var out, errOut strings.Builder
+	if err := run(append([]string{"-format", "json", "-cache", dir}, tinyArgs...), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "4 computed, 0 from disk") {
+		t.Errorf("healthy run was served faulted cache entries: %s", errOut.String())
+	}
+	if strings.Contains(out.String(), "fault_") {
+		t.Error("healthy sweep JSON reports fault metrics")
 	}
 }
 

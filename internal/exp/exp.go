@@ -232,6 +232,10 @@ type Experiment struct {
 	// maxima and the implementation's buffer policy to an explicit size
 	// (the §4.2.1 buffer ablation). Applied on top of the Tuning level.
 	SocketBuffer int `json:"socket_buffer,omitempty"`
+	// Faults is the seeded fault schedule injected into the run's kernel
+	// (nil or zero = the healthy grid, encoding byte-identical to pre-fault
+	// experiments, so every legacy fingerprint and cache entry survives).
+	Faults *FaultPlan `json:"faults,omitempty"`
 }
 
 // normalized resolves the workload's zero-value aliases (Scale 0 means
@@ -247,6 +251,11 @@ func (e Experiment) normalized() Experiment {
 		if e.Workload.Timeout == 0 {
 			e.Workload.Timeout = e.Workload.timeout()
 		}
+	}
+	// A zero fault plan is the healthy grid: drop it so {} and nil share
+	// one fingerprint — the pre-fault one.
+	if e.Faults.IsZero() {
+		e.Faults = nil
 	}
 	return e
 }
@@ -272,6 +281,9 @@ func (e Experiment) Name() string {
 	s := fmt.Sprintf("%s/%s/%s/%s", e.Impl, e.Tuning, e.Topology, e.Workload)
 	if e.EagerThreshold > 0 {
 		s += fmt.Sprintf("/eager=%d", e.EagerThreshold)
+	}
+	if !e.Faults.IsZero() {
+		s += "/faults[" + e.Faults.String() + "]"
 	}
 	return s
 }
@@ -349,6 +361,7 @@ func (r Result) clone() Result {
 			out.Metrics[k] = v
 		}
 	}
+	out.Exp.Faults = r.Exp.Faults.clone()
 	return out
 }
 
@@ -411,6 +424,10 @@ func Run(e Experiment) (res Result) {
 		res.Err = "exp: " + err.Error()
 		return res
 	}
+	if err := e.Faults.Validate(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
 	if e.Workload.Kind == KindRay2Mesh {
 		runRay2Mesh(&res)
 		return res
@@ -434,10 +451,17 @@ func Run(e Experiment) (res Result) {
 		tcp.WmemMax = e.SocketBuffer
 		prof = prof.WithBuffers(tcpsim.BufferPolicy{Explicit: e.SocketBuffer})
 	}
-	k := sim.New(1)
+	// The fault plan's seed is the kernel seed: healthy runs (nil plan)
+	// keep the historic seed 1 and replay the pre-fault event stream
+	// byte-for-byte; a seeded plan gives each replica its own loss draws.
+	k := sim.New(e.Faults.kernelSeed())
 	defer k.Close()
 	net, err := e.Topology.Build()
 	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if err := e.Faults.inject(k, net); err != nil {
 		res.Err = err.Error()
 		return res
 	}
@@ -450,10 +474,8 @@ func Run(e Experiment) (res Result) {
 		res.Elapsed = k.Now()
 		res.fill(w, err)
 		if len(pts) > 0 {
-			res.Metrics = map[string]float64{
-				"max_mbps":   res.MaxMbps(),
-				"min_rtt_us": float64(pts[0].MinRTT) / float64(time.Microsecond),
-			}
+			res.addMetric("max_mbps", res.MaxMbps())
+			res.addMetric("min_rtt_us", float64(pts[0].MinRTT)/float64(time.Microsecond))
 		}
 	case KindTrace:
 		w := mpi.NewWorld(k, net, tcp, prof, e.Topology.endpointHosts(net))
@@ -497,9 +519,28 @@ func runBody(w *mpi.World, body func(*mpi.Rank), wl Workload) (time.Duration, er
 	return w.RunTimeout(body, wl.timeout())
 }
 
-// fill records the census and classifies the run error.
+// addMetric merges one scalar into the result's metrics map.
+func (r *Result) addMetric(key string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[key] = v
+}
+
+// fill records the census, the degraded-mode transport metrics of a
+// faulted run, and classifies the run error.
 func (r *Result) fill(w *mpi.World, err error) {
 	r.Census = CensusOf(w.Stats())
+	if !r.Exp.Faults.IsZero() {
+		// Degraded-mode metrics only exist under a fault plan: a healthy
+		// run's serialization must stay byte-identical to pre-fault builds.
+		fs := w.FlowStats()
+		r.addMetric("fault_retransmits", float64(fs.InjectedLosses))
+		r.addMetric("fault_retrans_bytes", float64(fs.RetransBytes))
+		r.addMetric("fault_link_stalls", float64(fs.LinkStalls))
+		r.addMetric("fault_stall_s", fs.StallTime.Seconds())
+		r.addMetric("fault_timeouts", float64(fs.Timeouts))
+	}
 	if err == nil {
 		return
 	}
@@ -521,6 +562,10 @@ func runRay2Mesh(res *Result) {
 	}
 	if e.SocketBuffer > 0 {
 		res.Err = "exp: ray2mesh does not support a socket-buffer override"
+		return
+	}
+	if !e.Faults.IsZero() {
+		res.Err = "exp: ray2mesh does not support fault injection (it builds its own stack)"
 		return
 	}
 	cfg := ray2mesh.Default(e.Workload.Master).Scaled(e.Workload.scale())
@@ -602,6 +647,10 @@ func runFabric(res *Result) {
 	}
 	if e.SocketBuffer > 0 {
 		res.Err = "exp: fabric workloads do not support a socket-buffer override"
+		return
+	}
+	if !e.Faults.IsZero() {
+		res.Err = "exp: fabric workloads do not support fault injection (their two-node fabric has no uplink to fault)"
 		return
 	}
 	if w.FabricRate <= 0 || len(w.Sizes) == 0 || w.Reps < 1 {

@@ -1,0 +1,264 @@
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/grid5000"
+	"repro/internal/mpiimpl"
+)
+
+// tinyFaultPlan is a small seeded plan over the tinyPingPong topology: a
+// 100ms rennes-uplink outage plus 2% background loss.
+func tinyFaultPlan() *FaultPlan {
+	return &FaultPlan{
+		Seed: 7,
+		Events: []FaultEvent{
+			{At: 20 * time.Millisecond, Kind: FaultDown, Site: grid5000.Rennes},
+			{At: 120 * time.Millisecond, Kind: FaultUp, Site: grid5000.Rennes},
+			{At: 0, Kind: FaultLoss, Loss: 0.02},
+		},
+	}
+}
+
+// TestEmptyFaultPlanIsInvisible is the satellite property test: an absent,
+// nil, or zero-value FaultPlan must leave the experiment's normalized JSON
+// — the input of the fingerprint, and with it the DiskCache filename
+// (<fingerprint>.json) and the cmd/cached wire address — byte-identical to
+// a pre-fault build's encoding. The expected bytes are hand-written, not
+// encoder output, so the test cannot rot into a tautology.
+func TestEmptyFaultPlanIsInvisible(t *testing.T) {
+	base := tinyPingPong(mpiimpl.GridMPI, Tuning{TCP: true})
+	withZero := base
+	withZero.Faults = &FaultPlan{}
+
+	preFault := `{"impl":"GridMPI","tuning":{"tcp":true,"mpi":false},` +
+		`"topology":{"sites":["rennes","nancy"],"nodes_per_site":1},` +
+		`"workload":{"kind":"pingpong","sizes":[1024,65536],"reps":3}}`
+	for _, e := range []Experiment{base, withZero} {
+		blob, err := json.Marshal(e.normalized())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != preFault {
+			t.Errorf("normalized encoding = %s,\nwant pre-fault %s", blob, preFault)
+		}
+	}
+	if base.Fingerprint() != withZero.Fingerprint() {
+		t.Error("zero-value FaultPlan changes the fingerprint")
+	}
+}
+
+// TestFaultPlanWireEncoding freezes the faulted encoding the same way the
+// topology test freezes the legacy one: hand-written JSON, hashed by hand.
+// If this fails, cached faulted results (and any sharded faulted sweep)
+// silently miss — change the encoding only with a DiskSchemaVersion bump
+// and a deliberate update here.
+func TestFaultPlanWireEncoding(t *testing.T) {
+	e := tinyPingPong(mpiimpl.GridMPI, Tuning{TCP: true})
+	e.Faults = tinyFaultPlan()
+	want := `{"impl":"GridMPI","tuning":{"tcp":true,"mpi":false},` +
+		`"topology":{"sites":["rennes","nancy"],"nodes_per_site":1},` +
+		`"workload":{"kind":"pingpong","sizes":[1024,65536],"reps":3},` +
+		`"faults":{"seed":7,"events":[` +
+		`{"at":20000000,"kind":"down","site":"rennes"},` +
+		`{"at":120000000,"kind":"up","site":"rennes"},` +
+		`{"at":0,"kind":"loss","loss":0.02}]}}`
+	blob, err := json.Marshal(e.normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != want {
+		t.Fatalf("faulted encoding = %s,\nwant %s", blob, want)
+	}
+	sum := sha256.Sum256([]byte(want))
+	if got, legacy := e.Fingerprint(), hex.EncodeToString(sum[:8]); got != legacy {
+		t.Fatalf("faulted fingerprint = %s, want hash of frozen JSON %s", got, legacy)
+	}
+}
+
+// TestFaultedRunDeterminism: the same seeded plan replays bit-for-bit,
+// both run-to-run and across worker counts (the sweep-level determinism
+// the fault-smoke CI job checks with cmp).
+func TestFaultedRunDeterminism(t *testing.T) {
+	plan := tinyFaultPlan()
+	exps := make([]Experiment, 0, 4)
+	for _, impl := range []string{mpiimpl.RawTCP, mpiimpl.MPICH2} {
+		for _, tun := range []Tuning{{}, {TCP: true}} {
+			e := tinyPingPong(impl, tun)
+			e.Faults = plan
+			exps = append(exps, e)
+		}
+	}
+	seq := MarshalResults(NewRunner(1).RunAll(exps))
+	par := MarshalResults(NewRunner(4).RunAll(exps))
+	rerun := MarshalResults(NewRunner(4).RunAll(exps))
+	if !bytes.Equal(seq, par) {
+		t.Fatal("faulted sweep differs between 1 and 4 workers")
+	}
+	if !bytes.Equal(par, rerun) {
+		t.Fatal("faulted sweep differs between two identical runs")
+	}
+}
+
+// TestFaultMetricsAndSeedEffect: a faulted run reports the degraded-mode
+// metrics, a healthy one does not, and changing only the plan seed changes
+// the fingerprint (distinct replicas, distinct cache cells).
+func TestFaultMetricsAndSeedEffect(t *testing.T) {
+	healthy := tinyPingPong(mpiimpl.RawTCP, Tuning{TCP: true})
+	faulted := healthy
+	faulted.Faults = tinyFaultPlan()
+
+	hres := Run(healthy)
+	if hres.Err != "" {
+		t.Fatal(hres.Err)
+	}
+	for k := range hres.Metrics {
+		if strings.HasPrefix(k, "fault_") {
+			t.Errorf("healthy run reports %s", k)
+		}
+	}
+	fres := Run(faulted)
+	if fres.Err != "" {
+		t.Fatal(fres.Err)
+	}
+	for _, k := range []string{"fault_retransmits", "fault_retrans_bytes", "fault_link_stalls", "fault_stall_s", "fault_timeouts"} {
+		if _, ok := fres.Metrics[k]; !ok {
+			t.Errorf("faulted run missing metric %s (have %v)", k, fres.Metrics)
+		}
+	}
+	if fres.Metrics["fault_link_stalls"] == 0 {
+		t.Error("uplink outage caused no stall")
+	}
+	if fres.MaxMbps() >= hres.MaxMbps() {
+		t.Errorf("faulted bandwidth %.1f not below healthy %.1f", fres.MaxMbps(), hres.MaxMbps())
+	}
+
+	reseeded := faulted
+	plan := *faulted.Faults
+	plan.Seed = 8
+	reseeded.Faults = &plan
+	if faulted.Fingerprint() == reseeded.Fingerprint() {
+		t.Error("plan seed does not reach the fingerprint")
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []FaultPlan{
+		{Events: []FaultEvent{{At: -time.Second, Kind: FaultDown, Site: "rennes"}}},
+		{Events: []FaultEvent{{Kind: FaultDown}}},                                      // no target
+		{Events: []FaultEvent{{Kind: FaultDown, Site: "rennes", Host: "rennes-1"}}},    // both targets
+		{Events: []FaultEvent{{Kind: FaultDown, Site: "rennes", Loss: 0.1}}},           // loss on down
+		{Events: []FaultEvent{{Kind: FaultLoss, Loss: 1.5}}},                           // p out of range
+		{Events: []FaultEvent{{Kind: FaultLoss, Loss: 0.1, Jitter: time.Millisecond}}}, // jitter on loss
+		{Events: []FaultEvent{{Kind: FaultJitter, Jitter: -time.Millisecond}}},
+		{Events: []FaultEvent{{Kind: "reboot", Site: "rennes"}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated", i)
+		}
+	}
+	if err := tinyFaultPlan().Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+	if err := (*FaultPlan)(nil).Validate(); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+}
+
+func TestFaultTargetResolution(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ev   FaultEvent
+		want string // substring of the expected error, "" = ok
+	}{
+		{"unknown site", FaultEvent{Kind: FaultDown, Site: "toulouse"}, "no uplink"},
+		{"unknown host", FaultEvent{Kind: FaultDown, Host: "rennes-99"}, "not in this topology"},
+		{"host nic", FaultEvent{Kind: FaultDown, Host: "rennes-1"}, ""},
+		{"untargeted loss", FaultEvent{Kind: FaultLoss, Loss: 0.01}, ""},
+	} {
+		e := tinyPingPong(mpiimpl.RawTCP, Tuning{})
+		e.Faults = &FaultPlan{Events: []FaultEvent{tc.ev,
+			// Recover so down events cannot stall the pingpong forever.
+			{At: 50 * time.Millisecond, Kind: FaultUp, Site: tc.ev.Site, Host: tc.ev.Host}}}
+		if tc.ev.Kind == FaultLoss {
+			e.Faults.Events = e.Faults.Events[:1]
+		}
+		res := Run(e)
+		if tc.want == "" {
+			if res.Err != "" {
+				t.Errorf("%s: unexpected error %q", tc.name, res.Err)
+			}
+			continue
+		}
+		if !strings.Contains(res.Err, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, res.Err, tc.want)
+		}
+	}
+}
+
+// TestFaultsRejectedByOwnedStackWorkloads: ray2mesh and fabric build their
+// own simulation stacks, so a fault plan cannot be honored — it must be
+// rejected, never silently ignored.
+func TestFaultsRejectedByOwnedStackWorkloads(t *testing.T) {
+	ray := Experiment{Impl: mpiimpl.MPICH2, Workload: Ray2MeshWorkload(grid5000.Rennes, 0.02)}
+	ray.Faults = tinyFaultPlan()
+	if res := Run(ray); !strings.Contains(res.Err, "fault") {
+		t.Errorf("ray2mesh with faults: err = %q", res.Err)
+	}
+	fab := Experiment{
+		Impl:     mpiimpl.MPICH2,
+		Workload: FabricWorkload(5*time.Microsecond, 1.25e9, time.Microsecond, 10*time.Microsecond, tinySizes, 2),
+	}
+	fab.Faults = tinyFaultPlan()
+	if res := Run(fab); !strings.Contains(res.Err, "fault") {
+		t.Errorf("fabric with faults: err = %q", res.Err)
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=7; 20ms down site=rennes; 120ms up site=rennes; 0s loss 0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tinyFaultPlan(); plan.Seed != want.Seed || len(plan.Events) != len(want.Events) {
+		t.Fatalf("parsed %+v, want %+v", plan, want)
+	}
+	for i, ev := range plan.Events {
+		if ev != tinyFaultPlan().Events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, tinyFaultPlan().Events[i])
+		}
+	}
+
+	if p, err := ParseFaultPlan("  "); p != nil || err != nil {
+		t.Errorf("blank spec = %v, %v; want nil, nil", p, err)
+	}
+	if p, err := ParseFaultPlan("1s jitter 2ms host=nancy-1"); err != nil {
+		t.Errorf("jitter spec rejected: %v", err)
+	} else if ev := p.Events[0]; ev.Jitter != 2*time.Millisecond || ev.Host != "nancy-1" {
+		t.Errorf("jitter event = %+v", ev)
+	}
+
+	for _, bad := range []string{
+		"down site=rennes",       // missing time
+		"1s down",                // missing target
+		"1s loss",                // missing probability
+		"1s loss nope",           // bad probability
+		"1s jitter",              // missing duration
+		"1s frobnicate site=x",   // unknown kind
+		"seed=x",                 // bad seed
+		"1s down site=a extra=b", // unknown field
+		"1s down site=a host=b",  // both targets
+		"1s loss 0.5 jitter",     // trailing junk
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+}

@@ -64,6 +64,19 @@ func (w *World) Stats() *Stats { return w.stats }
 // RankAt returns rank i (for inspection in tests).
 func (w *World) RankAt(i int) *Rank { return w.ranks[i] }
 
+// FlowStats aggregates the transport counters of every flow the job opened.
+// All fields are commutative sums (PeakCwnd a max), so the result does not
+// depend on map iteration order — safe for deterministic metrics.
+func (w *World) FlowStats() tcpsim.FlowStats {
+	var agg tcpsim.FlowStats
+	for _, r := range w.ranks {
+		for _, f := range r.flows {
+			agg.Add(f.Stats)
+		}
+	}
+	return agg
+}
+
 // Run executes body concurrently on every rank (SPMD style) and returns
 // the elapsed virtual time until the last rank finishes. It returns
 // ErrDeadlock if the simulation quiesces with unfinished ranks.

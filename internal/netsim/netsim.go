@@ -37,23 +37,97 @@ func (h *Host) String() string { return h.Name }
 // Link is a shared transmission resource with a fixed raw rate in bytes per
 // second. Flows register while actively transferring; the link divides its
 // rate evenly among them.
+//
+// A link can also be taken down by a fault plan: flows that hold it are
+// evicted (their registrations voided via the generation counter) and must
+// re-register once the link comes back, which NotifyUp signals.
 type Link struct {
 	Name   string
 	Rate   float64 // bytes/second, raw (framing efficiency is applied by tcpsim)
 	active int
+	// gen counts SetDown(true) transitions. A registration made at gen g is
+	// void once gen != g: SetDown zeroes active, so a flow releasing with a
+	// stale gen must not decrement again (see ReleaseGen).
+	gen       uint32
+	down      bool
+	extraLoss float64       // injected per-round loss probability
+	jitter    time.Duration // injected one-way latency jitter amplitude
+	onUp      []func()      // callbacks fired when the link comes back up
 }
 
 // Acquire registers one active flow on the link.
 func (l *Link) Acquire() { l.active++ }
 
 // Release deregisters one active flow. Releasing an idle link panics, as it
-// indicates a flow accounting bug.
+// indicates a flow accounting bug. Fault-driven teardown (the link went down
+// while the flow held it) must go through ReleaseGen instead, which the
+// generation counter makes idempotent.
 func (l *Link) Release() {
 	if l.active <= 0 {
 		panic(fmt.Sprintf("netsim: release of idle link %s", l.Name))
 	}
 	l.active--
 }
+
+// ReleaseGen deregisters a flow that registered while the link was at
+// generation gen. If the link has since gone down (bumping the generation
+// and voiding all registrations), the release is a no-op; with a current
+// gen it behaves exactly like Release, including the idle-release panic.
+func (l *Link) ReleaseGen(gen uint32) {
+	if gen != l.gen {
+		return
+	}
+	l.Release()
+}
+
+// Gen returns the link's current registration generation.
+func (l *Link) Gen() uint32 { return l.gen }
+
+// SetDown changes the link's up/down state. Taking the link down evicts all
+// registered flows (active resets to zero and their generation is voided);
+// bringing it up fires the callbacks registered with NotifyUp, in
+// registration order.
+func (l *Link) SetDown(down bool) {
+	if down == l.down {
+		return
+	}
+	l.down = down
+	if down {
+		l.gen++
+		l.active = 0
+		return
+	}
+	cbs := l.onUp
+	l.onUp = nil
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// NotifyUp registers fn to run when the link next comes up. If the link is
+// already up, fn runs immediately.
+func (l *Link) NotifyUp(fn func()) {
+	if !l.down {
+		fn()
+		return
+	}
+	l.onUp = append(l.onUp, fn)
+}
+
+// SetExtraLoss sets an injected per-round loss probability on the link.
+func (l *Link) SetExtraLoss(p float64) { l.extraLoss = p }
+
+// ExtraLoss returns the injected per-round loss probability.
+func (l *Link) ExtraLoss() float64 { return l.extraLoss }
+
+// SetJitter sets an injected latency jitter amplitude on the link.
+func (l *Link) SetJitter(j time.Duration) { l.jitter = j }
+
+// Jitter returns the injected latency jitter amplitude.
+func (l *Link) Jitter() time.Duration { return l.jitter }
 
 // Active reports the number of flows currently registered.
 func (l *Link) Active() int { return l.active }
@@ -93,6 +167,73 @@ func (p *Path) Release() {
 	for _, l := range p.Links {
 		l.Release()
 	}
+}
+
+// AcquireGens registers a flow on every link and appends each link's current
+// generation to gens (normally the caller's reused scratch, passed with
+// length zero), returning the extended slice. Pair with ReleaseGens so a
+// fault taking a link down mid-hold cannot be confused with a double
+// release.
+func (p *Path) AcquireGens(gens []uint32) []uint32 {
+	for _, l := range p.Links {
+		l.Acquire()
+		gens = append(gens, l.gen)
+	}
+	return gens
+}
+
+// ReleaseGens deregisters a flow that registered with AcquireGens: links
+// whose generation moved on (they went down in between) are skipped, the
+// rest release strictly. len(gens) must equal len(p.Links).
+func (p *Path) ReleaseGens(gens []uint32) {
+	for i, l := range p.Links {
+		l.ReleaseGen(gens[i])
+	}
+}
+
+// Down reports whether any link of the path is down.
+func (p *Path) Down() bool {
+	for _, l := range p.Links {
+		if l.down {
+			return true
+		}
+	}
+	return false
+}
+
+// NotifyUp arranges for fn to run once no link of the path is down. It
+// registers on the first down link found; when that one recovers, the check
+// repeats until the whole path is clear, then fn runs. If the path is
+// already up, fn runs immediately.
+func (p *Path) NotifyUp(fn func()) {
+	for _, l := range p.Links {
+		if l.down {
+			l.NotifyUp(func() { p.NotifyUp(fn) })
+			return
+		}
+	}
+	fn()
+}
+
+// ExtraLoss returns the combined injected loss probability along the path:
+// 1 - Π(1 - p_link), the chance at least one lossy link drops the round.
+func (p *Path) ExtraLoss() float64 {
+	pass := 1.0
+	for _, l := range p.Links {
+		if l.extraLoss > 0 {
+			pass *= 1 - l.extraLoss
+		}
+	}
+	return 1 - pass
+}
+
+// Jitter returns the summed injected latency jitter amplitude of the path.
+func (p *Path) Jitter() time.Duration {
+	var j time.Duration
+	for _, l := range p.Links {
+		j += l.jitter
+	}
+	return j
 }
 
 // ShareRate returns the current bottleneck fair-share rate (bytes/second)
@@ -226,6 +367,17 @@ func (n *Network) SetUplink(site string, rate float64) {
 		out: &Link{Name: site + ":uplink-out", Rate: rate},
 		in:  &Link{Name: site + ":uplink-in", Rate: rate},
 	}
+}
+
+// Uplink returns the site's WAN access links (egress, ingress), or ok=false
+// when the site has no uplink configured. Fault injection uses it to target
+// "the rennes uplink" by name.
+func (n *Network) Uplink(site string) (out, in *Link, ok bool) {
+	up := n.uplinks[site]
+	if up == nil {
+		return nil, nil, false
+	}
+	return up.out, up.in, true
 }
 
 // ConnectSites installs paths between every host of site a and every host

@@ -182,3 +182,128 @@ func TestMissingPathPanics(t *testing.T) {
 	}()
 	n.Path(a, b)
 }
+
+func TestSetDownEvictsAndVoidsRegistrations(t *testing.T) {
+	l := &Link{Name: "wan", Rate: 1000}
+	gen := l.Gen()
+	l.Acquire()
+	l.Acquire()
+	l.SetDown(true)
+	if !l.Down() {
+		t.Fatal("link not down after SetDown(true)")
+	}
+	if l.Active() != 0 {
+		t.Fatalf("active = %d after SetDown, want 0 (flows evicted)", l.Active())
+	}
+	// The two holders release with their stale generation: both no-ops, no
+	// panic — that is the fault-teardown path the ISSUE's Release bug is
+	// about.
+	l.ReleaseGen(gen)
+	l.ReleaseGen(gen)
+	if l.Active() != 0 {
+		t.Fatalf("active = %d after stale releases", l.Active())
+	}
+	// A genuine double release with a current generation still panics.
+	l.SetDown(false)
+	l.Acquire()
+	l.ReleaseGen(l.Gen())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("genuine double ReleaseGen did not panic")
+		}
+	}()
+	l.ReleaseGen(l.Gen())
+}
+
+func TestNotifyUp(t *testing.T) {
+	l := &Link{Name: "wan", Rate: 1000}
+	ran := 0
+	l.NotifyUp(func() { ran++ })
+	if ran != 1 {
+		t.Fatalf("NotifyUp on an up link ran %d times, want immediate call", ran)
+	}
+	l.SetDown(true)
+	l.NotifyUp(func() { ran += 10 })
+	l.NotifyUp(func() { ran += 100 })
+	if ran != 1 {
+		t.Fatal("callbacks ran while the link was down")
+	}
+	l.SetDown(false)
+	if ran != 111 {
+		t.Fatalf("ran = %d after SetDown(false), want both callbacks fired once", ran)
+	}
+	l.SetDown(false) // idempotent: nothing left to fire
+	if ran != 111 {
+		t.Fatalf("ran = %d after redundant SetDown(false)", ran)
+	}
+}
+
+func TestPathNotifyUpWaitsForAllLinks(t *testing.T) {
+	a := &Link{Name: "a", Rate: 1000}
+	b := &Link{Name: "b", Rate: 1000}
+	p := &Path{Links: []*Link{a, b}}
+	a.SetDown(true)
+	b.SetDown(true)
+	if !p.Down() {
+		t.Fatal("path not down with both links down")
+	}
+	ran := false
+	p.NotifyUp(func() { ran = true })
+	a.SetDown(false)
+	if ran {
+		t.Fatal("path callback fired with one link still down")
+	}
+	b.SetDown(false)
+	if !ran {
+		t.Fatal("path callback did not fire after full recovery")
+	}
+}
+
+func TestAcquireReleaseGens(t *testing.T) {
+	a := &Link{Name: "a", Rate: 1000}
+	b := &Link{Name: "b", Rate: 1000}
+	p := &Path{Links: []*Link{a, b}}
+	gens := p.AcquireGens(nil)
+	if len(gens) != 2 {
+		t.Fatalf("len(gens) = %d, want 2", len(gens))
+	}
+	// b dies mid-hold; releasing must decrement a and skip b.
+	b.SetDown(true)
+	p.ReleaseGens(gens)
+	if a.Active() != 0 || b.Active() != 0 {
+		t.Fatalf("active = %d,%d after mixed release", a.Active(), b.Active())
+	}
+}
+
+func TestPathExtraLossAndJitter(t *testing.T) {
+	a := &Link{Name: "a", Rate: 1000}
+	b := &Link{Name: "b", Rate: 1000}
+	p := &Path{Links: []*Link{a, b}}
+	if p.ExtraLoss() != 0 || p.Jitter() != 0 {
+		t.Fatal("clean path reports injected faults")
+	}
+	a.SetExtraLoss(0.5)
+	b.SetExtraLoss(0.5)
+	if got := p.ExtraLoss(); got != 0.75 {
+		t.Fatalf("combined loss = %v, want 0.75 (1-(1-0.5)^2)", got)
+	}
+	a.SetJitter(2 * time.Millisecond)
+	b.SetJitter(1 * time.Millisecond)
+	if got := p.Jitter(); got != 3*time.Millisecond {
+		t.Fatalf("summed jitter = %v, want 3ms", got)
+	}
+}
+
+func TestNetworkUplink(t *testing.T) {
+	n := buildTwoSites(t)
+	out, in, ok := n.Uplink("rennes")
+	if !ok || out == nil || in == nil {
+		t.Fatal("rennes uplink not found")
+	}
+	if out.Name != "rennes:uplink-out" || in.Name != "rennes:uplink-in" {
+		t.Fatalf("uplink names = %s, %s", out.Name, in.Name)
+	}
+	if _, _, ok := n.Uplink("sophia"); ok {
+		t.Fatal("nonexistent site reported an uplink")
+	}
+}

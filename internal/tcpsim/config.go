@@ -123,9 +123,12 @@ func DefaultLinux26() Config {
 }
 
 // Tuned4MB returns the paper's §4.2.1 tuning: rmem_max/wmem_max and the
-// autotuning maxima (and, for stacks that need it, the middle value) raised
-// to 4 MB — at least the 1.45 MB bandwidth-delay product of the
-// Rennes–Nancy path, with headroom for the rest of the grid.
+// autotuning maxima raised to 4 MB — at least the 1.45 MB bandwidth-delay
+// product of the Rennes–Nancy path, with headroom for the rest of the grid.
+// It deliberately leaves the tcp_rmem/tcp_wmem middle values alone: raising
+// those is a per-stack need (GridMPI never autotunes past the middle value)
+// and lives with the stack, in mpiimpl.Configure's GridMPI branch, not in
+// the host-wide sysctl tuning.
 func Tuned4MB() Config {
 	c := DefaultLinux26()
 	const buf = 4 << 20
@@ -179,7 +182,16 @@ func (c Config) WindowCap(p BufferPolicy) int {
 		rcv := min(p.Explicit, c.RmemMax)
 		return min(snd, adv(rcv))
 	case p.KernelDefault:
-		return adv(c.TCPRmem[1])
+		// "KernelDefault" is a receive-side condition: moderation keeps the
+		// advertised window at the tcp_rmem middle value (GridMPI's
+		// behaviour). The send buffer is NOT stuck at tcp_wmem[1] — Linux
+		// send-side autotuning is unconditional (it needs no application
+		// cooperation), so the send ceiling is tcp_wmem[2]. With the stock
+		// 2.6.18 sysctls that ceiling (256 kB) clears adv(87380) ≈ 64 kB and
+		// the receive window binds, which is why the asymmetry with the
+		// Explicit branch is invisible in the shipped configs — but a stack
+		// with a small tcp_wmem[2] would be send-limited, and this honors it.
+		return min(c.TCPWmem[2], adv(c.TCPRmem[1]))
 	default:
 		return min(c.TCPWmem[2], adv(c.TCPRmem[2]))
 	}

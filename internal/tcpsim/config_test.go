@@ -1,0 +1,51 @@
+package tcpsim
+
+import "testing"
+
+// TestWindowCap pins the socket-buffer window model for all three policies,
+// untuned and 4 MB-tuned. Notable cells:
+//
+//   - Explicit caps at rmem_max/wmem_max and loses a quarter of the receive
+//     side to metadata (tcp_adv_win_scale=2);
+//   - KernelDefault advertises from the tcp_rmem middle value but its send
+//     ceiling is tcp_wmem[2] — Linux send-side autotuning is unconditional,
+//     only receive moderation sticks (the asymmetry the seed code got wrong
+//     by ignoring the send side entirely);
+//   - Autotune grows to the tcp_rmem[2]/tcp_wmem[2] maxima.
+func TestWindowCap(t *testing.T) {
+	def := DefaultLinux26()
+	tuned := Tuned4MB()
+
+	// GridMPI tcp-tuned raises the middle values (mpiimpl.Configure); model
+	// that stack here to pin the tuned KernelDefault cell.
+	gridmpiTuned := tuned
+	gridmpiTuned.TCPRmem[1] = 4 << 20
+	gridmpiTuned.TCPWmem[1] = 4 << 20
+
+	// A stack whose send autotuning maximum is genuinely binding: before
+	// the fix, KernelDefault ignored it and answered adv(tcp_rmem[1]).
+	sendBound := def
+	sendBound.TCPWmem[2] = 32 << 10
+
+	cases := []struct {
+		name   string
+		cfg    Config
+		policy BufferPolicy
+		want   int
+	}{
+		{"default/explicit-64k", def, BufferPolicy{Explicit: 64 << 10}, 49152},
+		{"default/explicit-capped-256k", def, BufferPolicy{Explicit: 256 << 10}, 98304},
+		{"default/kernel-default", def, BufferPolicy{KernelDefault: true}, 65535},
+		{"default/autotune", def, Autotune, 131070},
+		{"tuned/explicit-4M", tuned, BufferPolicy{Explicit: 4 << 20}, 3145728},
+		{"tuned/kernel-default", tuned, BufferPolicy{KernelDefault: true}, 65535},
+		{"tuned/kernel-default-gridmpi", gridmpiTuned, BufferPolicy{KernelDefault: true}, 3145728},
+		{"tuned/autotune", tuned, Autotune, 3145728},
+		{"send-bound/kernel-default", sendBound, BufferPolicy{KernelDefault: true}, 32 << 10},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.WindowCap(tc.policy); got != tc.want {
+			t.Errorf("%s: WindowCap = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -18,6 +18,33 @@ type FlowStats struct {
 	Timeouts       int64
 	IdleRestarts   int64
 	PeakCwnd       float64
+
+	// Fault-injection counters: rounds lost to injected (plan-driven) loss,
+	// the bytes those rounds retransmitted, link-down stall episodes and
+	// the total time spent stalled waiting for a dead link to come back.
+	InjectedLosses int64
+	RetransBytes   int64
+	LinkStalls     int64
+	StallTime      time.Duration
+}
+
+// Add accumulates o into s (summing counters, taking the max of peaks), for
+// aggregating degraded-mode metrics across a world's flows.
+func (s *FlowStats) Add(o FlowStats) {
+	s.BytesQueued += o.BytesQueued
+	s.BytesDelivered += o.BytesDelivered
+	s.Rounds += o.Rounds
+	s.BurstLosses += o.BurstLosses
+	s.ContentionLoss += o.ContentionLoss
+	s.Timeouts += o.Timeouts
+	s.IdleRestarts += o.IdleRestarts
+	if o.PeakCwnd > s.PeakCwnd {
+		s.PeakCwnd = o.PeakCwnd
+	}
+	s.InjectedLosses += o.InjectedLosses
+	s.RetransBytes += o.RetransBytes
+	s.LinkStalls += o.LinkStalls
+	s.StallTime += o.StallTime
 }
 
 // Flow is one direction of a TCP connection: a reliable byte stream from
@@ -47,6 +74,22 @@ type Flow struct {
 	pathActive bool // links acquired
 	lastActive sim.Time
 	stallUntil sim.Time // RTO stall deadline after an incast timeout
+
+	// Fault-injection state. linkGens holds the per-link registration
+	// generations of the current path hold (reused scratch): releasing with
+	// them makes fault teardown (link went down and evicted us) idempotent
+	// while preserving the double-release panic for real accounting bugs.
+	// downWait marks the flow parked on a dead path; onUpFn is the bound
+	// wakeup NotifyUp fires. lastArriveAt keeps delivery events monotone
+	// when injected loss or jitter stretches one round's arrival, upholding
+	// delivQ's FIFO invariant. ackInjLoss travels with the one outstanding
+	// round like ackW does.
+	linkGens     []uint32
+	downWait     bool
+	stallStart   sim.Time
+	onUpFn       func()
+	lastArriveAt sim.Time
+	ackInjLoss   bool
 
 	writeMu *sim.Mutex
 	// spaceFree gates a writer blocked on send-buffer space. One signal,
@@ -105,6 +148,7 @@ func NewFlow(k *sim.Kernel, path *netsim.Path, cfg Config, policy BufferPolicy) 
 	f.pumpFn = f.pump
 	f.deliverFn = f.deliverHead
 	f.ackFn = f.roundAckedPending
+	f.onUpFn = f.pathUp
 	// A conservative initial ssthresh only matters on long paths: cluster
 	// BDPs are far below it, so local connections effectively slow-start
 	// straight to their operating window. Paced senders do not suffer the
@@ -240,9 +284,14 @@ func (f *Flow) pump() {
 	pending := f.queued - f.sentOff
 	if pending == 0 {
 		if f.pathActive {
-			f.path.Release()
+			f.path.ReleaseGens(f.linkGens)
+			f.linkGens = f.linkGens[:0]
 			f.pathActive = false
 		}
+		return
+	}
+	if f.path.Down() {
+		f.stallOnDown()
 		return
 	}
 	now := f.k.Now()
@@ -254,7 +303,7 @@ func (f *Flow) pump() {
 		f.idleRestart()
 	}
 	if !f.pathActive {
-		f.path.Acquire()
+		f.linkGens = f.path.AcquireGens(f.linkGens[:0])
 		f.pathActive = true
 	}
 	w := int64(f.window())
@@ -283,13 +332,70 @@ func (f *Flow) pump() {
 	}
 	arrive := f.path.OneWay + 2*f.cfg.HostOverhead + serial
 
+	// Injected faults. Both guards are exact zero-checks so a run without a
+	// fault plan draws nothing from the kernel RNG — the RNG stream, and
+	// with it the event-order golden, is untouched. A lost round is
+	// retransmitted after one more RTT (data and ack both late); the
+	// congestion response is applied when the round completes, via
+	// ackInjLoss. Jitter stretches data and ack clock alike, so arrival
+	// times stay monotone and delivQ's FIFO matching stays valid — the
+	// lastArriveAt clamp below is the belt to that suspenders.
+	injLoss := false
+	if p := f.path.ExtraLoss(); p > 0 && f.k.Rand().Float64() < p {
+		injLoss = true
+		f.Stats.InjectedLosses++
+		f.Stats.RetransBytes += w
+		arrive += rtt
+		roundTime += rtt
+	}
+	if j := f.path.Jitter(); j > 0 {
+		dj := time.Duration(f.k.Rand().Float64() * float64(j))
+		arrive += dj
+		roundTime += dj
+	}
+	arriveAt := now + arrive
+	if arriveAt < f.lastArriveAt {
+		arriveAt = f.lastArriveAt
+	}
+	f.lastArriveAt = arriveAt
+
 	f.busy = true
 	f.sentOff += w
 	f.Stats.Rounds++
 	f.delivQ = append(f.delivQ, f.sentOff)
-	f.k.After(arrive, f.deliverFn)
-	f.ackW, f.ackRoundTime, f.ackRateLimited = w, roundTime, rateLimited
+	f.k.Schedule(arriveAt, f.deliverFn)
+	f.ackW, f.ackRoundTime, f.ackRateLimited, f.ackInjLoss = w, roundTime, rateLimited, injLoss
 	f.k.After(roundTime, f.ackFn)
+}
+
+// stallOnDown parks the flow while its path has a dead link: registrations
+// are dropped (idempotently — the dead link already voided its own) and the
+// flow re-pumps when the path recovers. Pending data stays queued, so the
+// transfer resumes where it stalled instead of panicking in Release.
+func (f *Flow) stallOnDown() {
+	if f.pathActive {
+		f.path.ReleaseGens(f.linkGens)
+		f.linkGens = f.linkGens[:0]
+		f.pathActive = false
+	}
+	if f.downWait {
+		return
+	}
+	f.downWait = true
+	f.Stats.LinkStalls++
+	f.stallStart = f.k.Now()
+	f.path.NotifyUp(f.onUpFn)
+}
+
+// pathUp is the NotifyUp callback: account the stall and resume the
+// transmit loop. It runs inside the link-up fault event.
+func (f *Flow) pathUp() {
+	if !f.downWait {
+		return
+	}
+	f.downWait = false
+	f.Stats.StallTime += f.k.Now() - f.stallStart
+	f.pump()
 }
 
 // deliverHead completes the oldest in-flight round's arrival. Rounds
@@ -379,6 +485,19 @@ func (f *Flow) roundAcked(w int64, roundTime time.Duration, rateLimited bool) {
 func (f *Flow) updateCwnd(w int64, roundTime time.Duration, rateLimited bool) {
 	mss := float64(f.cfg.MSS)
 	cap64 := float64(f.windowCap)
+	if f.ackInjLoss {
+		// The round lost a segment to injected path loss and recovered by
+		// fast retransmit: multiplicative decrease, no growth this round.
+		f.ackInjLoss = false
+		f.wmax = f.cwnd
+		f.cwnd *= 0.5
+		f.ssthresh = f.cwnd
+		f.slowStart = false
+		if f.cwnd < mss {
+			f.cwnd = mss
+		}
+		return
+	}
 	if f.slowStart {
 		f.cwnd += float64(w)
 		queue := float64(f.cfg.BurstQueue)
