@@ -11,6 +11,14 @@
 //	sweep -workload npb:all -topo grid -nodes 8 -scale 0.1
 //	sweep -workload pattern:alltoall -size 1M -iters 5 -format csv
 //	sweep -faults "seed=7; 0s loss 0.02; 100ms jitter 2ms site=nancy"
+//	sweep -guidelines -size 64k -iters 5
+//
+// -guidelines appends a Hunold-style self-consistency pass: the
+// collective patterns run per impl × tuning × topology through the same
+// cached runner, and any configuration where a specialized collective is
+// slower than a composition of general ones (Allgather vs Gather+Bcast,
+// Reduce vs Allreduce, ...) is reported as a violation; violations exit
+// nonzero, linter-style.
 //
 // Results persist to a local directory (-cache) and/or a shared
 // cmd/cached server (-cache-remote); -shard i/n partitions a matrix
@@ -195,6 +203,7 @@ func run(args []string, out, errOut io.Writer) error {
 	pullFlag := fs.Bool("pull", false, "instead of sweeping, download every -cache-remote entry missing from -cache, then exit (with -push too: pull first, then push)")
 	faultsStr := fs.String("faults", "", `seeded fault plan applied to every experiment: semicolon-separated clauses "seed=N", "<time> down|up site=S|host=H", "<time> loss <p> [site=|host=]", "<time> jitter <dur> [site=|host=]" — e.g. "seed=7; 100ms down site=rennes; 300ms up site=rennes"`)
 	shardStr := fs.String("shard", "", `run only shard i of n ("i/n"): a deterministic fingerprint-keyed partition of the matrix, so shards on different machines can share one -cache-remote server (or merge their -cache directories by plain file copy)`)
+	guidelines := fs.Bool("guidelines", false, "after the sweep, run the Hunold-style self-consistency guideline suite (collective patterns at -size x -iters) for every impl x tuning x topology and flag configurations where a specialized collective loses to a composition of general ones (e.g. Allgather slower than Gather+Bcast)")
 	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	format := fs.String("format", "table", "output: table, csv, json")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -324,6 +333,12 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *guidelines && faults != nil {
+		// A guideline compares an implementation against itself on a
+		// healthy network; under a fault plan a violation would indict the
+		// faults, not the collective algorithm.
+		return fmt.Errorf("-guidelines assumes a healthy network; drop -faults")
+	}
 	sweep := exp.Sweep{Impls: impls, Tunings: tunings, Topologies: topos, Workloads: workloads}
 	all := sweep.Experiments()
 	// Faults apply before sharding: the partition keys on the faulted
@@ -361,6 +376,18 @@ func run(args []string, out, errOut io.Writer) error {
 		fmt.Fprintf(out, "%d experiments, %d workers, wall time %v\n",
 			len(results), runner.Workers(), wall.Round(time.Millisecond))
 	}
+	// The guideline suite is a post-processor: its pattern cells run
+	// through the same runner (so they hit the same cache tiers), whole
+	// rather than sharded — verdicts need every pattern of a configuration
+	// on one machine.
+	guidelineViolations := 0
+	if *guidelines {
+		suite := exp.GuidelineSuite(impls, tunings, topos, exp.DefaultGuidelines, size, *iters)
+		gres := runner.RunAll(suite)
+		results = append(results, gres...)
+		guidelineViolations = exp.WriteGuidelineReport(out, gres,
+			exp.DefaultGuidelines, exp.DefaultGuidelineTolerance)
+	}
 	if *cacheDir != "" || *remoteURL != "" {
 		stats := runner.CacheStats()
 		// With a remote store the backing tier is not (only) local disk.
@@ -394,6 +421,11 @@ func run(args []string, out, errOut io.Writer) error {
 			fmt.Fprintf(errOut, "failed: %s: %s\n", r.Exp.Name(), r.Err)
 		}
 		return fmt.Errorf("%d of %d experiments failed", len(failed), len(results))
+	}
+	// Like a linter, guideline violations exit nonzero (after the report
+	// has been printed) so scripts can gate on self-consistency.
+	if guidelineViolations > 0 {
+		return fmt.Errorf("%d guideline violations", guidelineViolations)
 	}
 	return nil
 }

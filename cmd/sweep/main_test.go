@@ -118,10 +118,47 @@ func TestRunBadFlags(t *testing.T) {
 		{"-faults", "1s frobnicate site=rennes"},
 		{"-faults", "20ms down site=rennes; 120ms up site=rennes", "-workload", "ray2mesh:rennes"},
 		{"-format", "xml", "-impls", "TCP", "-tunings", "default", "-reps", "1", "-max-size", "1k"},
+		{"-guidelines", "-faults", "0s loss 0.02"}, // guidelines need a healthy network
 	} {
 		if err := run(args, &out, &errOut); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunGuidelines: -guidelines appends the self-consistency report
+// after the sweep, runs its pattern cells through the same cache, and
+// stays deterministic across worker counts.
+func TestRunGuidelines(t *testing.T) {
+	render := func(workers string) string {
+		var out, errOut strings.Builder
+		args := []string{"-impls", "TCP,MPICH2", "-tunings", "default",
+			"-reps", "2", "-max-size", "4k", "-size", "4k", "-iters", "2",
+			"-guidelines", "-workers", workers}
+		if err := run(args, &out, &errOut); err != nil {
+			// Guideline violations exit nonzero by design; anything else
+			// is a real failure.
+			if !strings.Contains(err.Error(), "guideline violation") {
+				t.Fatalf("run: %v", err)
+			}
+		}
+		// Only the guideline section: the sweep table above it names the
+		// worker count.
+		_, report, ok := strings.Cut(out.String(), "Guidelines:")
+		if !ok {
+			t.Fatalf("no guideline report in output:\n%s", out.String())
+		}
+		return report
+	}
+	got := render("4")
+	if !strings.Contains(got, "6 rules x 2 configurations") {
+		t.Errorf("guideline report header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "self-consistent") && !strings.Contains(got, "VIOLATION") {
+		t.Errorf("guideline report carries no verdict:\n%s", got)
+	}
+	if seq := render("1"); seq != got {
+		t.Errorf("guideline output differs between 1 and 4 workers:\n%s\nvs\n%s", seq, got)
 	}
 }
 

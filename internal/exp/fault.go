@@ -16,12 +16,14 @@ const (
 	FaultUp     = "up"     // bring it back
 	FaultLoss   = "loss"   // set an injected per-round loss probability
 	FaultJitter = "jitter" // set a one-way latency jitter amplitude
+	FaultCrash  = "crash"  // kill a host: its NIC goes down and never comes back
 )
 
 // FaultEvent is one timed fault: at virtual time At, apply Kind to the
 // named target. Site targets the site's WAN uplink (both directions), Host
 // the host's NIC (both directions); loss and jitter events may omit the
-// target to hit every site uplink. Like the Experiment that embeds it, the
+// target to hit every site uplink; crash events require a host and take it
+// down for the rest of the run. Like the Experiment that embeds it, the
 // JSON encoding is frozen (fingerprint input): new fields must be omitempty
 // with byte-identical zero values.
 type FaultEvent struct {
@@ -126,8 +128,23 @@ func (p *FaultPlan) Validate() error {
 			if ev.Loss != 0 {
 				return fmt.Errorf("%s: loss parameter on a jitter event", prefix)
 			}
+		case FaultCrash:
+			// A crash is a node failure, so it only makes sense against a
+			// host; a site-wide outage is a down event.
+			if ev.Host == "" {
+				return fmt.Errorf("%s: needs a host target (site outages are down events)", prefix)
+			}
+			if ev.Loss != 0 || ev.Jitter != 0 {
+				return fmt.Errorf("%s: loss/jitter parameters belong on loss/jitter events", prefix)
+			}
+			for _, other := range p.Events {
+				if other.Kind == FaultUp && other.Host == ev.Host && other.At >= ev.At {
+					return fmt.Errorf("%s: host %q comes back up at %v, but a crashed host never recovers (use down/up for transient outages)",
+						prefix, ev.Host, other.At)
+				}
+			}
 		default:
-			return fmt.Errorf("%s: unknown kind (have down, up, loss, jitter)", prefix)
+			return fmt.Errorf("%s: unknown kind (have down, up, loss, jitter, crash)", prefix)
 		}
 	}
 	return nil
@@ -148,7 +165,11 @@ func (p *FaultPlan) inject(k *sim.Kernel, net *netsim.Network) error {
 			return fmt.Errorf("exp: fault event %d: %w", i, err)
 		}
 		switch ev.Kind {
-		case FaultDown:
+		case FaultDown, FaultCrash:
+			// A crash is a down with no matching up (Validate rejects one):
+			// the host's ranks park on sends and receives that can never
+			// complete, the run DNFs at its time budget, and Kernel.Close
+			// aborts the permanently-parked processes.
 			k.Schedule(ev.At, func() {
 				for _, l := range links {
 					l.SetDown(true)
@@ -215,10 +236,12 @@ func (p *FaultPlan) resolve(net *netsim.Network, ev FaultEvent) ([]*netsim.Link,
 //
 //	seed=7; 100ms down site=rennes; 300ms up site=rennes
 //	0s loss 0.05; 2s loss 0; 0s jitter 2ms site=nancy
+//	50ms crash host=rennes-1
 //
-// down/up need site=NAME or host=NAME; loss takes a probability and jitter
-// a duration, each with an optional site=/host= target (default: every
-// site uplink). An empty string returns a nil plan.
+// down/up need site=NAME or host=NAME; crash needs host=NAME (the host
+// never comes back); loss takes a probability and jitter a duration, each
+// with an optional site=/host= target (default: every site uplink). An
+// empty string returns a nil plan.
 func ParseFaultPlan(s string) (*FaultPlan, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {

@@ -158,6 +158,13 @@ func TestFaultPlanValidate(t *testing.T) {
 		{Events: []FaultEvent{{Kind: FaultLoss, Loss: 0.1, Jitter: time.Millisecond}}}, // jitter on loss
 		{Events: []FaultEvent{{Kind: FaultJitter, Jitter: -time.Millisecond}}},
 		{Events: []FaultEvent{{Kind: "reboot", Site: "rennes"}}},
+		{Events: []FaultEvent{{Kind: FaultCrash}}},                              // no target
+		{Events: []FaultEvent{{Kind: FaultCrash, Site: "rennes"}}},              // site crash
+		{Events: []FaultEvent{{Kind: FaultCrash, Host: "rennes-1", Loss: 0.1}}}, // loss on crash
+		{Events: []FaultEvent{ // a crashed host must stay dead
+			{At: 10 * time.Millisecond, Kind: FaultCrash, Host: "rennes-1"},
+			{At: 50 * time.Millisecond, Kind: FaultUp, Host: "rennes-1"},
+		}},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -166,6 +173,16 @@ func TestFaultPlanValidate(t *testing.T) {
 	}
 	if err := tinyFaultPlan().Validate(); err != nil {
 		t.Errorf("good plan rejected: %v", err)
+	}
+	crash := FaultPlan{Events: []FaultEvent{
+		{At: 10 * time.Millisecond, Kind: FaultCrash, Host: "rennes-1"},
+		// An up for a *different* host, or one scheduled before the crash
+		// hits, does not resurrect the crashed one.
+		{At: 50 * time.Millisecond, Kind: FaultUp, Host: "nancy-1"},
+		{At: 5 * time.Millisecond, Kind: FaultUp, Host: "rennes-1"},
+	}}
+	if err := crash.Validate(); err != nil {
+		t.Errorf("good crash plan rejected: %v", err)
 	}
 	if err := (*FaultPlan)(nil).Validate(); err != nil {
 		t.Errorf("nil plan rejected: %v", err)
@@ -200,6 +217,46 @@ func TestFaultTargetResolution(t *testing.T) {
 		if !strings.Contains(res.Err, tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, res.Err, tc.want)
 		}
+	}
+}
+
+// TestCrashFaultCausesDNF is the node-crash satellite end to end: killing
+// one host mid-ring strands the surviving rank on a receive that can
+// never complete, so the run exhausts its time budget and reports DNF
+// (not an error). The survivors' coroutines are still parked when
+// exp.Run's deferred Kernel.Close fires — a hang or panic here means the
+// single-threaded scheduler mishandled permanently-parked processes. The
+// crashed run must also replay bit-for-bit like any other faulted run.
+func TestCrashFaultCausesDNF(t *testing.T) {
+	e := Experiment{
+		Impl:     mpiimpl.MPICH2,
+		Topology: Grid(1),
+		Workload: PatternWorkload("ring", 1024, 50),
+	}
+	e.Workload.Timeout = 2 * time.Second
+	e.Faults = &FaultPlan{Events: []FaultEvent{
+		{At: 5 * time.Millisecond, Kind: FaultCrash, Host: "rennes-1"},
+	}}
+	res := Run(e)
+	if res.Err != "" {
+		t.Fatalf("crashed run errored instead of DNF: %s", res.Err)
+	}
+	if !res.DNF {
+		t.Fatal("run with a crashed endpoint finished inside its budget")
+	}
+	if _, ok := res.Metrics["fault_link_stalls"]; !ok {
+		t.Errorf("crashed run missing degraded-mode metrics (have %v)", res.Metrics)
+	}
+	a := MarshalResults([]Result{res})
+	b := MarshalResults([]Result{Run(e)})
+	if !bytes.Equal(a, b) {
+		t.Fatal("crashed run is not deterministic across replays")
+	}
+
+	healthy := e
+	healthy.Faults = nil
+	if hres := Run(healthy); hres.DNF || hres.Err != "" {
+		t.Fatalf("healthy control run under the same budget: DNF=%v err=%q", hres.DNF, hres.Err)
 	}
 }
 
@@ -244,18 +301,25 @@ func TestParseFaultPlan(t *testing.T) {
 	} else if ev := p.Events[0]; ev.Jitter != 2*time.Millisecond || ev.Host != "nancy-1" {
 		t.Errorf("jitter event = %+v", ev)
 	}
+	if p, err := ParseFaultPlan("50ms crash host=rennes-1"); err != nil {
+		t.Errorf("crash spec rejected: %v", err)
+	} else if ev := p.Events[0]; ev != (FaultEvent{At: 50 * time.Millisecond, Kind: FaultCrash, Host: "rennes-1"}) {
+		t.Errorf("crash event = %+v", ev)
+	}
 
 	for _, bad := range []string{
-		"down site=rennes",       // missing time
-		"1s down",                // missing target
-		"1s loss",                // missing probability
-		"1s loss nope",           // bad probability
-		"1s jitter",              // missing duration
-		"1s frobnicate site=x",   // unknown kind
-		"seed=x",                 // bad seed
-		"1s down site=a extra=b", // unknown field
-		"1s down site=a host=b",  // both targets
-		"1s loss 0.5 jitter",     // trailing junk
+		"down site=rennes",              // missing time
+		"1s down",                       // missing target
+		"1s loss",                       // missing probability
+		"1s loss nope",                  // bad probability
+		"1s jitter",                     // missing duration
+		"1s frobnicate site=x",          // unknown kind
+		"seed=x",                        // bad seed
+		"1s down site=a extra=b",        // unknown field
+		"1s down site=a host=b",         // both targets
+		"1s loss 0.5 jitter",            // trailing junk
+		"1s crash site=rennes",          // crash needs a host
+		"1s crash host=a; 2s up host=a", // no resurrection
 	} {
 		if _, err := ParseFaultPlan(bad); err == nil {
 			t.Errorf("spec %q parsed", bad)

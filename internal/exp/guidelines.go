@@ -1,0 +1,221 @@
+// This file implements performance-guideline checking in the style of
+// Träff et al.'s "Self-consistent MPI performance guidelines" and Hunold
+// & Carpen-Amarie's "Tuning MPI Collectives by Verifying Performance
+// Guidelines" (PAPERS.md): a specialized collective must not be slower
+// than a composition of more general ones that moves the same data — if
+// Allgather loses to Gather+Bcast, the Allgather algorithm (not the
+// network) is the bottleneck, and the implementation leaves tuning
+// headroom on the table. The sweep runs each pattern as an ordinary
+// cached experiment, so guideline verdicts are as deterministic and
+// replayable as any other cell.
+
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Guideline is one self-consistency rule: the LHS collective should take
+// at most as long as running the RHS patterns back to back, because the
+// RHS composition implements (a superset of) the same data movement.
+type Guideline struct {
+	LHS string   // the specialized collective pattern...
+	RHS []string // ...that must not lose to this composition's summed time
+}
+
+// String renders the rule the way the papers write it, e.g.
+// "allgather <= gather+bcast".
+func (g Guideline) String() string {
+	return g.LHS + " <= " + strings.Join(g.RHS, "+")
+}
+
+// DefaultGuidelines is the rule set -guidelines checks, mirroring the
+// monotony and composition rules of the guideline papers that are
+// expressible with this repo's collectives:
+//
+//   - Allgather(n) <= Gather(n)+Bcast(n): gathering to a root and
+//     rebroadcasting is one (naive) allgather implementation.
+//   - Allreduce(n) <= Reduce(n)+Bcast(n): same argument for reductions.
+//   - Bcast(n) <= Scatter(n)+Allgather(n): the van-de-Geijn bcast.
+//   - Gather(n) <= Allgather(n): delivering to one root cannot cost
+//     more than delivering to everyone.
+//   - Reduce(n) <= Allreduce(n): same specialization argument.
+//   - Scatter(n) <= Bcast(n): sending each rank its slice cannot cost
+//     more than sending every rank everything.
+var DefaultGuidelines = []Guideline{
+	{LHS: "allgather", RHS: []string{"gather", "bcast"}},
+	{LHS: "allreduce", RHS: []string{"reduce", "bcast"}},
+	{LHS: "bcast", RHS: []string{"scatter", "allgather"}},
+	{LHS: "gather", RHS: []string{"allgather"}},
+	{LHS: "reduce", RHS: []string{"allreduce"}},
+	{LHS: "scatter", RHS: []string{"bcast"}},
+}
+
+// DefaultGuidelineTolerance is the slack factor violations must exceed:
+// an LHS is only flagged when it is more than 5% slower than its RHS
+// composition, absorbing constant-factor noise (startup barriers, tag
+// bookkeeping) that the guideline papers also discount.
+const DefaultGuidelineTolerance = 1.05
+
+// GuidelinePatterns returns the deduplicated, order-preserving set of
+// pattern names the rules reference — the workloads a guideline sweep
+// has to run.
+func GuidelinePatterns(rules []Guideline) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, g := range rules {
+		add(g.LHS)
+		for _, p := range g.RHS {
+			add(p)
+		}
+	}
+	return out
+}
+
+// GuidelineSuite crosses impls × tunings × topos with one pattern
+// workload per pattern the rules need. The experiments are ordinary
+// cached cells; faults are deliberately absent — a guideline compares an
+// implementation against itself on a healthy network, and a lossy or
+// partitioned one would indict the fault plan, not the algorithm.
+func GuidelineSuite(impls []string, tunings []Tuning, topos []Topology, rules []Guideline, size, iters int) []Experiment {
+	var exps []Experiment
+	for _, impl := range impls {
+		for _, tun := range tunings {
+			for _, topo := range topos {
+				for _, p := range GuidelinePatterns(rules) {
+					exps = append(exps, Experiment{
+						Impl:     impl,
+						Tuning:   tun,
+						Topology: topo,
+						Workload: PatternWorkload(p, size, iters),
+					})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// GuidelineViolation is one broken rule in one configuration.
+type GuidelineViolation struct {
+	Config string // impl/tuning/topology label
+	Rule   Guideline
+	LHS    time.Duration // measured time of the specialized collective
+	RHS    time.Duration // summed time of the composition
+}
+
+func (v GuidelineViolation) String() string {
+	return fmt.Sprintf("%s: %s violated: %v > %v (x%.2f)",
+		v.Config, v.Rule, v.LHS, v.RHS, float64(v.LHS)/float64(v.RHS))
+}
+
+// CheckGuidelines evaluates the rules for one configuration. elapsed
+// maps a pattern name to its measured time; rules whose patterns are
+// missing (unmeasured or failed cells) are skipped, not flagged. A rule
+// is violated when LHS > tol × sum(RHS).
+func CheckGuidelines(rules []Guideline, tol float64, elapsed func(pattern string) (time.Duration, bool)) []GuidelineViolation {
+	var out []GuidelineViolation
+rules:
+	for _, g := range rules {
+		lhs, ok := elapsed(g.LHS)
+		if !ok {
+			continue
+		}
+		var rhs time.Duration
+		for _, p := range g.RHS {
+			d, ok := elapsed(p)
+			if !ok {
+				continue rules
+			}
+			rhs += d
+		}
+		if rhs > 0 && float64(lhs) > tol*float64(rhs) {
+			out = append(out, GuidelineViolation{Rule: g, LHS: lhs, RHS: rhs})
+		}
+	}
+	return out
+}
+
+// guidelineConfig is one impl/tuning/topology cell group of a guideline
+// sweep's results.
+type guidelineConfig struct {
+	label   string
+	elapsed map[string]time.Duration // pattern -> virtual run time
+	skipped []string                 // patterns whose cells failed or DNFed
+}
+
+// groupGuidelineResults buckets pattern results by configuration,
+// preserving first-seen order so reports are deterministic.
+func groupGuidelineResults(results []Result) []*guidelineConfig {
+	var order []*guidelineConfig
+	byLabel := make(map[string]*guidelineConfig)
+	for _, res := range results {
+		if res.Exp.Workload.Kind != KindPattern {
+			continue
+		}
+		label := fmt.Sprintf("%s/%s/%s", res.Exp.Impl, res.Exp.Tuning, res.Exp.Topology)
+		cfg := byLabel[label]
+		if cfg == nil {
+			cfg = &guidelineConfig{label: label, elapsed: make(map[string]time.Duration)}
+			byLabel[label] = cfg
+			order = append(order, cfg)
+		}
+		p := res.Exp.Workload.Pattern
+		if res.Err != "" || res.DNF {
+			cfg.skipped = append(cfg.skipped, p)
+			continue
+		}
+		cfg.elapsed[p] = res.Elapsed
+	}
+	return order
+}
+
+// EvaluateGuidelines runs the rules over a guideline sweep's results,
+// grouped per configuration. Failed or DNF cells drop the rules that
+// reference them (reported via the skipped list) rather than producing
+// fake verdicts.
+func EvaluateGuidelines(results []Result, rules []Guideline, tol float64) (violations []GuidelineViolation, skipped []string) {
+	for _, cfg := range groupGuidelineResults(results) {
+		for _, p := range cfg.skipped {
+			skipped = append(skipped, fmt.Sprintf("%s: %s cell unusable, rules referencing it skipped", cfg.label, p))
+		}
+		for _, v := range CheckGuidelines(rules, tol, func(p string) (time.Duration, bool) {
+			d, ok := cfg.elapsed[p]
+			return d, ok
+		}) {
+			v.Config = cfg.label
+			violations = append(violations, v)
+		}
+	}
+	return violations, skipped
+}
+
+// WriteGuidelineReport renders the verdict for humans and scripts: one
+// line per violation (or a clean bill), plus any skipped-cell notes. It
+// returns the violation count so callers can choose an exit status.
+func WriteGuidelineReport(w io.Writer, results []Result, rules []Guideline, tol float64) int {
+	violations, skipped := EvaluateGuidelines(results, rules, tol)
+	configs := groupGuidelineResults(results)
+	fmt.Fprintf(w, "Guidelines: %d rules x %d configurations (tolerance %.2f)\n",
+		len(rules), len(configs), tol)
+	for _, note := range skipped {
+		fmt.Fprintf(w, "  note: %s\n", note)
+	}
+	if len(violations) == 0 {
+		fmt.Fprintln(w, "  all configurations self-consistent")
+		return 0
+	}
+	for _, v := range violations {
+		fmt.Fprintf(w, "  VIOLATION %s\n", v)
+	}
+	return len(violations)
+}

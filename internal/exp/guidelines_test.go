@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpiimpl"
+)
+
+// fakeElapsed builds a CheckGuidelines lookup from a literal table.
+func fakeElapsed(table map[string]time.Duration) func(string) (time.Duration, bool) {
+	return func(p string) (time.Duration, bool) {
+		d, ok := table[p]
+		return d, ok
+	}
+}
+
+func TestCheckGuidelines(t *testing.T) {
+	rules := []Guideline{
+		{LHS: "allgather", RHS: []string{"gather", "bcast"}},
+		{LHS: "gather", RHS: []string{"allgather"}},
+	}
+	// allgather (30ms) beats gather+bcast (10+15ms): violation. gather
+	// (10ms) <= allgather (30ms): fine.
+	got := CheckGuidelines(rules, 1.05, fakeElapsed(map[string]time.Duration{
+		"allgather": 30 * time.Millisecond,
+		"gather":    10 * time.Millisecond,
+		"bcast":     15 * time.Millisecond,
+	}))
+	if len(got) != 1 || got[0].Rule.LHS != "allgather" {
+		t.Fatalf("violations = %+v, want exactly the allgather rule", got)
+	}
+	if got[0].LHS != 30*time.Millisecond || got[0].RHS != 25*time.Millisecond {
+		t.Fatalf("violation times = %v > %v, want 30ms > 25ms", got[0].LHS, got[0].RHS)
+	}
+
+	// Within the tolerance band (26ms <= 1.05 * 25ms): no violation.
+	got = CheckGuidelines(rules, 1.05, fakeElapsed(map[string]time.Duration{
+		"allgather": 26 * time.Millisecond,
+		"gather":    10 * time.Millisecond,
+		"bcast":     15 * time.Millisecond,
+	}))
+	if len(got) != 0 {
+		t.Fatalf("in-tolerance ratio flagged: %+v", got)
+	}
+
+	// A missing pattern silently drops the rules referencing it instead
+	// of producing a fake verdict.
+	got = CheckGuidelines(rules, 1.05, fakeElapsed(map[string]time.Duration{
+		"allgather": 30 * time.Millisecond,
+		"gather":    10 * time.Millisecond,
+	}))
+	if len(got) != 0 {
+		t.Fatalf("rule with a missing pattern flagged: %+v", got)
+	}
+}
+
+func TestGuidelinePatternsAndSuite(t *testing.T) {
+	pats := GuidelinePatterns(DefaultGuidelines)
+	want := []string{"allgather", "gather", "bcast", "allreduce", "reduce", "scatter"}
+	if len(pats) != len(want) {
+		t.Fatalf("patterns = %v, want %v", pats, want)
+	}
+	for i, p := range want {
+		if pats[i] != p {
+			t.Fatalf("patterns = %v, want %v (dedup must preserve order)", pats, want)
+		}
+		if err := CheckPattern(p); err != nil {
+			t.Errorf("guideline pattern %q is not runnable: %v", p, err)
+		}
+	}
+	suite := GuidelineSuite(
+		[]string{mpiimpl.RawTCP, mpiimpl.MPICH2},
+		[]Tuning{{}, {TCP: true}},
+		[]Topology{Grid(1)},
+		DefaultGuidelines, 1024, 3)
+	if len(suite) != 2*2*1*len(want) {
+		t.Fatalf("suite size = %d, want %d", len(suite), 2*2*1*len(want))
+	}
+	for _, e := range suite {
+		if !e.Faults.IsZero() {
+			t.Fatalf("guideline cell %s carries a fault plan", e.Name())
+		}
+	}
+}
+
+// TestEvaluateGuidelines checks the grouping layer on synthesized
+// results: per-configuration verdicts, deterministic order, failed cells
+// reported as skips instead of verdicts.
+func TestEvaluateGuidelines(t *testing.T) {
+	rules := []Guideline{{LHS: "gather", RHS: []string{"allgather"}}}
+	cell := func(impl, pattern string, elapsed time.Duration, errMsg string) Result {
+		return Result{
+			Exp: Experiment{
+				Impl:     impl,
+				Topology: Grid(1),
+				Workload: PatternWorkload(pattern, 1024, 3),
+			},
+			Elapsed: elapsed,
+			Err:     errMsg,
+		}
+	}
+	results := []Result{
+		// TCP: gather slower than allgather — a violation.
+		cell(mpiimpl.RawTCP, "gather", 40*time.Millisecond, ""),
+		cell(mpiimpl.RawTCP, "allgather", 20*time.Millisecond, ""),
+		// MPICH2: consistent.
+		cell(mpiimpl.MPICH2, "gather", 10*time.Millisecond, ""),
+		cell(mpiimpl.MPICH2, "allgather", 20*time.Millisecond, ""),
+		// GridMPI: the allgather cell failed, so its rule is skipped.
+		cell(mpiimpl.GridMPI, "gather", 10*time.Millisecond, ""),
+		cell(mpiimpl.GridMPI, "allgather", 0, "boom"),
+	}
+	violations, skipped := EvaluateGuidelines(results, rules, 1.05)
+	if len(violations) != 1 {
+		t.Fatalf("violations = %+v, want exactly the TCP one", violations)
+	}
+	if v := violations[0]; !strings.HasPrefix(v.Config, mpiimpl.RawTCP+"/") {
+		t.Fatalf("violation config = %q, want the TCP configuration", v.Config)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "allgather") {
+		t.Fatalf("skipped = %v, want one allgather note", skipped)
+	}
+}
+
+// TestGuidelineSweepEndToEnd runs a real (tiny) guideline suite through
+// the Runner twice and checks the report is stable — guideline verdicts
+// are as deterministic as any other cell.
+func TestGuidelineSweepEndToEnd(t *testing.T) {
+	suite := GuidelineSuite(
+		[]string{mpiimpl.MPICH2}, []Tuning{{}}, []Topology{Grid(1)},
+		DefaultGuidelines, 4096, 2)
+	render := func() (string, int) {
+		var buf bytes.Buffer
+		n := WriteGuidelineReport(&buf, NewRunner(4).RunAll(suite), DefaultGuidelines, DefaultGuidelineTolerance)
+		return buf.String(), n
+	}
+	first, n1 := render()
+	second, n2 := render()
+	if first != second || n1 != n2 {
+		t.Fatalf("guideline report not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	if !strings.Contains(first, "Guidelines: 6 rules x 1 configurations") {
+		t.Fatalf("report header missing:\n%s", first)
+	}
+	if n1 > 0 && !strings.Contains(first, "VIOLATION") {
+		t.Fatalf("count %d but no VIOLATION lines:\n%s", n1, first)
+	}
+	if n1 == 0 && !strings.Contains(first, "self-consistent") {
+		t.Fatalf("clean report missing the clean line:\n%s", first)
+	}
+}

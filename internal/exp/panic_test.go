@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpiimpl"
+	"repro/internal/sim"
+)
+
+// TestRankBodyPanicSurfacesAsErr pins the end-to-end panic contract on
+// the single-scheduler kernel: a panic inside a simulation process body
+// unwinds through the coroutine resume into Kernel.Run — the same
+// goroutine exp.Run runs on — where the worker-safety recover converts
+// it to Result.Err instead of killing the process or hanging the run.
+// The panicking process is injected through the sim.NewHook test seam,
+// so it rides inside the very kernel exp.Run builds.
+func TestRankBodyPanicSurfacesAsErr(t *testing.T) {
+	// Not t.Parallel: NewHook is a package-global test seam.
+	sim.NewHook = func(k *sim.Kernel) {
+		k.Go("saboteur", func(p *sim.Proc) {
+			p.Sleep(time.Millisecond)
+			panic("injected rank panic")
+		})
+	}
+	defer func() { sim.NewHook = nil }()
+	res := Run(tinyPingPong(mpiimpl.MPICH2, Tuning{}))
+	if res.Err == "" {
+		t.Fatal("panicking process body produced no Result.Err")
+	}
+	if !strings.Contains(res.Err, "injected rank panic") {
+		t.Fatalf("Result.Err = %q, want the panic value surfaced", res.Err)
+	}
+}

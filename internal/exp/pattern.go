@@ -9,7 +9,10 @@ import (
 )
 
 // Patterns lists the SPMD pattern names PatternBody accepts.
-var Patterns = []string{"pingpong", "ring", "alltoall", "bcast", "allreduce", "barrier"}
+var Patterns = []string{
+	"pingpong", "ring", "alltoall", "bcast", "allreduce", "barrier",
+	"gather", "scatter", "allgather", "reduce",
+}
 
 // CheckPattern validates a pattern name (CLI front-ends use it to reject
 // typos at parse time instead of emitting all-ERR result sets).
@@ -72,6 +75,30 @@ func PatternBody(pattern string, size, iters int) (func(*mpi.Rank), error) {
 		return func(r *mpi.Rank) {
 			for i := 0; i < iters; i++ {
 				r.Barrier()
+			}
+		}, nil
+	case "gather":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Gather(0, size)
+			}
+		}, nil
+	case "scatter":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Scatter(0, size)
+			}
+		}, nil
+	case "allgather":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Allgather(size)
+			}
+		}, nil
+	case "reduce":
+		return func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				r.Reduce(0, size)
 			}
 		}, nil
 	}

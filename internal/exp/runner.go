@@ -10,7 +10,10 @@ import (
 // fingerprint-keyed result cache, optionally layered over a persistent
 // Store (see DiskCache). Each experiment builds private simulation
 // state, so workers never share anything mutable; results are identical
-// whatever the worker count.
+// whatever the worker count. An executing experiment is exactly one
+// goroutine — its simulated ranks are coroutines inside the kernel, not
+// goroutines of their own — so Workers() is the true OS-level
+// parallelism of a sweep.
 //
 // The bound is global to the Runner, not per RunAll call: any number of
 // goroutines may submit work concurrently (cmd/gridrepro generates every

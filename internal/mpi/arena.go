@@ -1,0 +1,171 @@
+package mpi
+
+// Protocol arenas: free lists recycling the per-message objects a sweep
+// used to heap-allocate once per message — Requests, arrived-but-unmatched
+// inMsg envelopes, Isend protocol bodies (sendJob) and delivery callbacks
+// (delivery) — plus the rendezvous CTS signals. A World runs on a single
+// kernel, which is one flow of control (see sim.Proc), so the pools need
+// no locking. Together with the kernel's event slab and pooled process
+// coroutines, steady-state message traffic allocates nothing (pinned by
+// TestMpiHotPathAllocFree).
+
+import "repro/internal/sim"
+
+// sendJob carries one Isend's protocol parameters into its pooled process
+// body (runSendJob), replacing the per-Isend closure.
+type sendJob struct {
+	r    *Rank
+	dst  int
+	tag  int
+	ctx  int
+	size int64
+	data any
+	req  *Request
+}
+
+// runSendJob is the pooled Isend body, spawned via sim.Kernel.GoJob.
+func runSendJob(p *sim.Proc, a any) {
+	j := a.(*sendJob)
+	j.r.sendProto(p, j.dst, j.tag, j.size, j.ctx, false, j.data)
+	j.req.done.Fire()
+	j.r.w.putJob(j)
+}
+
+// Delivery kinds: what runDelivery does when the bytes land.
+const (
+	delivEager    uint8 = iota // eager payload arrived: deliverEager(m)
+	delivRTS                   // rendezvous RTS arrived: deliverRTS(m)
+	delivCTS                   // clear-to-send arrived back: fireCTS(reqID)
+	delivRndvData              // rendezvous payload arrived: deliverRndvData
+)
+
+// delivery is a pooled what-happens-when-the-bytes-land record, handed to
+// tcpsim.Flow.SendArg/SendAsyncArg with runDelivery. src is the rank that
+// wrote the bytes, dst the rank receiving them; big marks a payload that
+// holds the fast-buffer collision slot until it lands (see sendProto).
+type delivery struct {
+	src   *Rank
+	dst   *Rank
+	m     *inMsg // eager payload or RTS envelope (delivEager/delivRTS)
+	reqID int64  // rendezvous handshake id (delivCTS/delivRndvData)
+	big   bool
+	kind  uint8
+}
+
+// runDelivery dispatches a pooled delivery and recycles it. It is the
+// single package-level callback behind every protocol-level flow write.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	w := d.src.w
+	if d.big {
+		d.src.bigOut[d.dst.id]--
+	}
+	switch d.kind {
+	case delivEager:
+		d.dst.deliverEager(d.m)
+	case delivRTS:
+		d.dst.deliverRTS(d.m)
+	case delivCTS:
+		d.dst.fireCTS(d.reqID)
+	default:
+		d.dst.deliverRndvData(d.reqID)
+	}
+	w.putDelivery(d)
+}
+
+// getReq takes a Request from the pool, keeping its done Signal across
+// recycles (rearmed here). Requests return to the pool when Wait returns.
+func (w *World) getReq(r *Rank) *Request {
+	if n := len(w.freeReqs); n > 0 {
+		q := w.freeReqs[n-1]
+		w.freeReqs[n-1] = nil
+		w.freeReqs = w.freeReqs[:n-1]
+		q.rank = r
+		q.done.Reset()
+		return q
+	}
+	return &Request{rank: r, done: w.K.NewSignal()}
+}
+
+func (w *World) putReq(q *Request) {
+	q.rank = nil
+	q.isRecv = false
+	q.ctx, q.src, q.tag = 0, 0, 0
+	q.Status = Status{} // drop the payload ref; don't pin user data
+	w.freeReqs = append(w.freeReqs, q)
+}
+
+// getMsg takes a zeroed inMsg from the pool. Messages return to the pool
+// at their consumption points: an eager match, an unexpected-queue take,
+// or rendezvous acceptance.
+func (w *World) getMsg() *inMsg {
+	if n := len(w.freeMsgs); n > 0 {
+		m := w.freeMsgs[n-1]
+		w.freeMsgs[n-1] = nil
+		w.freeMsgs = w.freeMsgs[:n-1]
+		return m
+	}
+	return &inMsg{}
+}
+
+func (w *World) putMsg(m *inMsg) {
+	*m = inMsg{}
+	w.freeMsgs = append(w.freeMsgs, m)
+}
+
+func (w *World) getJob() *sendJob {
+	if n := len(w.freeJobs); n > 0 {
+		j := w.freeJobs[n-1]
+		w.freeJobs[n-1] = nil
+		w.freeJobs = w.freeJobs[:n-1]
+		return j
+	}
+	return &sendJob{}
+}
+
+func (w *World) putJob(j *sendJob) {
+	*j = sendJob{}
+	w.freeJobs = append(w.freeJobs, j)
+}
+
+func (w *World) getDelivery() *delivery {
+	if n := len(w.freeDeliv); n > 0 {
+		d := w.freeDeliv[n-1]
+		w.freeDeliv[n-1] = nil
+		w.freeDeliv = w.freeDeliv[:n-1]
+		return d
+	}
+	return &delivery{}
+}
+
+func (w *World) putDelivery(d *delivery) {
+	*d = delivery{}
+	w.freeDeliv = append(w.freeDeliv, d)
+}
+
+// getSignal takes a rearmed one-shot Signal from the pool (rendezvous CTS
+// gates); putSignal accepts only fired signals, per Signal.Reset.
+func (w *World) getSignal() *sim.Signal {
+	if n := len(w.freeSigs); n > 0 {
+		s := w.freeSigs[n-1]
+		w.freeSigs[n-1] = nil
+		w.freeSigs = w.freeSigs[:n-1]
+		s.Reset()
+		return s
+	}
+	return w.K.NewSignal()
+}
+
+func (w *World) putSignal(s *sim.Signal) {
+	w.freeSigs = append(w.freeSigs, s)
+}
+
+// popAt removes element i of s preserving order, zeroing the vacated tail
+// slot so the backing array never pins removed entries.
+func popAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	var zero T
+	n := len(s) - 1
+	s[n] = zero
+	return s[:n]
+}

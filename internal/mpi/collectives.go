@@ -2,8 +2,6 @@ package mpi
 
 import (
 	"time"
-
-	"repro/internal/sim"
 )
 
 // gridCollMin is the smallest payload for which the grid-aware collective
@@ -18,11 +16,10 @@ func (r *Rank) csend(dst, tag int, size int64) {
 }
 
 func (r *Rank) cisend(dst, tag int, size int64) *Request {
-	req := &Request{rank: r, done: r.w.K.NewSignal()}
-	r.w.K.Go("coll-isend", func(p *sim.Proc) {
-		r.sendProto(p, dst, tag, size, ctxColl, false, nil)
-		req.done.Fire()
-	})
+	req := r.w.getReq(r)
+	j := r.w.getJob()
+	j.r, j.dst, j.tag, j.ctx, j.size, j.req = r, dst, tag, ctxColl, size, req
+	r.w.K.GoJob("coll-isend", runSendJob, j)
 	return req
 }
 

@@ -82,14 +82,12 @@ func (r *Rank) Isend(dst, tag int, size int) *Request {
 
 // IsendPayload is Isend with an application value attached.
 func (r *Rank) IsendPayload(dst, tag, size int, data any) *Request {
-	req := &Request{rank: r, done: r.w.K.NewSignal()}
+	req := r.w.getReq(r)
 	r.recordUserSend(dst, int64(size))
 	r.isendSeq++
-	sz := int64(size)
-	r.w.K.Go("isend", func(p *sim.Proc) {
-		r.sendProto(p, dst, tag, sz, ctxUser, false, data)
-		req.done.Fire()
-	})
+	j := r.w.getJob()
+	j.r, j.dst, j.tag, j.ctx, j.size, j.data, j.req = r, dst, tag, ctxUser, int64(size), data, req
+	r.w.K.GoJob("isend", runSendJob, j)
 	return req
 }
 
@@ -117,29 +115,19 @@ func (r *Rank) sendProto(p *sim.Proc, dst, tag int, size int64, ctx int, record 
 	// path and stalls. One-directional traffic (pingpong) and messages
 	// that fit (CG's 147 kB) are unaffected.
 	big := wan && prof.SlowPathThreshold > 0 && size > int64(prof.SlowPathThreshold)
-	var release func()
 	if big {
 		if dstRank.bigOut[r.id] > 0 {
 			p.Sleep(prof.SlowPathStall)
 		}
-		r.bigOut[dst]++
-		released := false
-		release = func() {
-			if !released {
-				released = true
-				r.bigOut[dst]--
-			}
-		}
+		r.bigOut[dst]++ // released when the payload's delivery lands
 	}
 
 	if !prof.UsesRendezvous(int(size)) {
-		m := &inMsg{ctx: ctx, src: r.id, tag: tag, size: size, eager: true, data: data}
-		r.sendPayload(p, flow, dst, wan, EnvelopeBytes+size, func() {
-			if release != nil {
-				release()
-			}
-			dstRank.deliverEager(m)
-		})
+		m := r.w.getMsg()
+		m.ctx, m.src, m.tag, m.size, m.eager, m.data = ctx, r.id, tag, size, true, data
+		d := r.w.getDelivery()
+		d.src, d.dst, d.m, d.big, d.kind = r, dstRank, m, big, delivEager
+		r.sendPayload(p, flow, dst, wan, EnvelopeBytes+size, d)
 		return
 	}
 
@@ -151,40 +139,43 @@ func (r *Rank) sendProto(p *sim.Proc, dst, tag int, size int64, ctx int, record 
 		lock.Lock(p)
 	}
 	reqID := r.newReqID()
-	cts := r.w.K.NewSignal()
+	cts := r.w.getSignal()
 	r.pendingCTS[reqID] = cts
-	m := &inMsg{ctx: ctx, src: r.id, tag: tag, size: size, eager: false, reqID: reqID, data: data}
-	flow.Send(p, ControlBytes, func() { dstRank.deliverRTS(m) })
+	m := r.w.getMsg()
+	m.ctx, m.src, m.tag, m.size, m.reqID, m.data = ctx, r.id, tag, size, reqID, data
+	rts := r.w.getDelivery()
+	rts.src, rts.dst, rts.m, rts.kind = r, dstRank, m, delivRTS
+	flow.SendArg(p, ControlBytes, runDelivery, rts)
 	cts.Wait(p)
 	delete(r.pendingCTS, reqID)
-	r.sendPayload(p, flow, dst, wan, EnvelopeBytes+size, func() {
-		if release != nil {
-			release()
-		}
-		dstRank.deliverRndvData(reqID)
-	})
+	r.w.putSignal(cts)
+	d := r.w.getDelivery()
+	d.src, d.dst, d.reqID, d.big, d.kind = r, dstRank, reqID, big, delivRndvData
+	r.sendPayload(p, flow, dst, wan, EnvelopeBytes+size, d)
 	if lock != nil {
 		lock.Unlock()
 	}
 }
 
-// sendPayload writes wireBytes to the flow. When the profile models a
-// fragment pipeline (OpenMPI's BTL), each fragment costs CPU time at the
-// sender; the cost is applied as one aggregate delay so the TCP stream
-// itself stays contiguous. When the profile stripes large WAN messages
-// over parallel streams (MPICH-G2), the payload is split across extra
-// flows and delivered when the last stripe lands.
-func (r *Rank) sendPayload(p *sim.Proc, flow *tcpsim.Flow, dst int, wan bool, wireBytes int64, delivered func()) {
+// sendPayload writes wireBytes to the flow, firing the pooled delivery d
+// when the last byte lands. When the profile models a fragment pipeline
+// (OpenMPI's BTL), each fragment costs CPU time at the sender; the cost is
+// applied as one aggregate delay so the TCP stream itself stays
+// contiguous. When the profile stripes large WAN messages over parallel
+// streams (MPICH-G2), the payload is split across extra flows and
+// delivered when the last stripe lands (the one closure the rare striped
+// path still allocates).
+func (r *Rank) sendPayload(p *sim.Proc, flow *tcpsim.Flow, dst int, wan bool, wireBytes int64, d *delivery) {
 	if fs := int64(r.w.Prof.FragmentSize); fs > 0 && wireBytes > fs {
 		frags := (wireBytes + fs - 1) / fs
 		p.Sleep(time.Duration(frags) * r.w.Prof.FragmentOverhead)
 	}
 	streams := r.w.Prof.ParallelStreams
 	if streams > 1 && wan && wireBytes >= int64(r.w.Prof.StreamMinSize) {
-		r.sendStriped(p, dst, streams, wireBytes, delivered)
+		r.sendStriped(p, dst, streams, wireBytes, func() { runDelivery(d) })
 		return
 	}
-	flow.Send(p, wireBytes, delivered)
+	flow.SendArg(p, wireBytes, runDelivery, d)
 }
 
 // sendStriped splits the payload across parallel TCP streams to dst. The
@@ -246,7 +237,8 @@ func (r *Rank) Irecv(src, tag int) *Request {
 }
 
 func (r *Rank) irecv(src, tag, ctx int) *Request {
-	req := &Request{rank: r, isRecv: true, ctx: ctx, src: src, tag: tag, done: r.w.K.NewSignal()}
+	req := r.w.getReq(r)
+	req.isRecv, req.ctx, req.src, req.tag = true, ctx, src, tag
 	if m := r.takeUnexpected(src, tag, ctx); m != nil {
 		if m.eager {
 			// The message arrived before the receive was posted: it sat in
@@ -254,6 +246,7 @@ func (r *Rank) irecv(src, tag, ctx int) *Request {
 			req.Status = m.status()
 			copyCost := time.Duration(float64(m.size) / r.w.Prof.CopyRate * float64(time.Second))
 			req.done.FireAfter(copyCost)
+			r.w.putMsg(m)
 		} else {
 			r.acceptRndv(req, m)
 		}
@@ -263,10 +256,14 @@ func (r *Rank) irecv(src, tag, ctx int) *Request {
 	return req
 }
 
-// Wait blocks until the request completes and returns its status.
+// Wait blocks until the request completes and returns its status. The
+// request is recycled when Wait returns: wait on a request exactly once
+// and do not touch it afterwards.
 func (r *Rank) Wait(req *Request) Status {
 	req.done.Wait(r.proc)
-	return req.Status
+	st := req.Status
+	r.w.putReq(req)
+	return st
 }
 
 // WaitAll waits for every request.
@@ -292,6 +289,7 @@ func (r *Rank) deliverEager(m *inMsg) {
 	if req := r.matchPosted(m); req != nil {
 		req.Status = m.status()
 		req.done.Fire()
+		r.w.putMsg(m)
 		return
 	}
 	r.w.stats.Unexpected++
@@ -308,12 +306,15 @@ func (r *Rank) deliverRTS(m *inMsg) {
 }
 
 // acceptRndv matches a posted/poster receive with an RTS: registers the
-// data completion and returns a CTS to the sender.
+// data completion, returns a CTS to the sender and recycles the envelope.
 func (r *Rank) acceptRndv(req *Request, m *inMsg) {
 	req.Status = m.status()
 	r.rndvRecv[m.reqID] = req
 	src := r.w.ranks[m.src]
-	r.flowTo(m.src).SendAsync(ControlBytes, func() { src.fireCTS(m.reqID) })
+	d := r.w.getDelivery()
+	d.src, d.dst, d.reqID, d.kind = r, src, m.reqID, delivCTS
+	r.flowTo(m.src).SendAsyncArg(ControlBytes, runDelivery, d)
+	r.w.putMsg(m)
 }
 
 // fireCTS wakes the sender blocked on the rendezvous handshake.
@@ -340,7 +341,7 @@ func (r *Rank) matchPosted(m *inMsg) *Request {
 		if req.ctx == m.ctx &&
 			(req.src == AnySource || req.src == m.src) &&
 			(req.tag == AnyTag || req.tag == m.tag) {
-			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			r.posted = popAt(r.posted, i)
 			return req
 		}
 	}
@@ -354,7 +355,7 @@ func (r *Rank) takeUnexpected(src, tag, ctx int) *inMsg {
 		if m.ctx == ctx &&
 			(src == AnySource || src == m.src) &&
 			(tag == AnyTag || tag == m.tag) {
-			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			r.unexpected = popAt(r.unexpected, i)
 			return m
 		}
 	}

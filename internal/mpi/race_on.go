@@ -1,0 +1,7 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-lock tests skip themselves under it.
+const raceEnabled = true

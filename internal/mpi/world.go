@@ -29,6 +29,15 @@ type World struct {
 	hosts []*netsim.Host
 	ranks []*Rank
 	stats *Stats
+
+	// Protocol arenas (see arena.go): free lists for the per-message
+	// objects, shared by all ranks of the job. Single flow of control —
+	// no locking.
+	freeReqs  []*Request
+	freeMsgs  []*inMsg
+	freeJobs  []*sendJob
+	freeDeliv []*delivery
+	freeSigs  []*sim.Signal
 }
 
 // NewWorld creates a world with rank i running on hosts[i]. The profile's

@@ -5,7 +5,7 @@
 // runs with the same inputs schedule and execute events in the same order.
 //
 // On top of the raw event loop, the package offers cooperative processes
-// (Proc): goroutines that run one at a time under kernel control and block
+// (Proc): coroutines that run one at a time under kernel control and block
 // in virtual time via Sleep, Signal.Wait, or Queue.Get. This lets higher
 // layers (TCP flows, MPI ranks, applications) be written in ordinary
 // blocking style while remaining deterministic.
@@ -28,6 +28,10 @@
 //     heap (see Step for the invariant), just cheaper.
 //   - Waking a process is a typed event ({at, seq, proc}), not a closure,
 //     so Sleep and the synchronization primitives capture nothing.
+//   - Processes themselves are pooled continuations (see Proc): parking is
+//     a same-thread coroutine switch, not a channel handoff through the Go
+//     scheduler, and a finished process's coroutine is recycled by the next
+//     Go/GoJob, so spawning is allocation-free in steady state too.
 package sim
 
 import (
@@ -51,6 +55,9 @@ type event struct {
 	fn   func()
 	proc *Proc
 	sig  *Signal
+	// gen is the proc generation this wakeup targets; transfer drops the
+	// event if the Proc has since finished and been recycled (see Proc.gen).
+	gen uint32
 }
 
 // Kernel is a discrete-event simulator instance. A Kernel and everything
@@ -73,10 +80,13 @@ type Kernel struct {
 	ringHead uint32
 	ringTail uint32
 
-	rng    *rand.Rand
-	procs  map[*Proc]struct{}
-	closed bool
-	tracer Tracer
+	rng   *rand.Rand
+	procs map[*Proc]struct{}
+	// freeProcs pools finished processes whose coroutines idle at the
+	// trampoline reuse point, ready for the next Go/GoJob.
+	freeProcs []*Proc
+	closed    bool
+	tracer    Tracer
 
 	// Executed counts events processed, for diagnostics and tests.
 	Executed uint64
@@ -130,6 +140,9 @@ func (k *Kernel) alloc(at Time, fn func(), p *Proc, s *Signal) int32 {
 	}
 	ev := &k.slab[idx]
 	ev.at, ev.seq, ev.fn, ev.proc, ev.sig = at, k.seq, fn, p, s
+	if p != nil {
+		ev.gen = p.gen
+	}
 	return idx
 }
 
@@ -196,7 +209,7 @@ func (k *Kernel) Step() bool {
 	}
 	switch {
 	case ev.proc != nil:
-		k.transfer(ev.proc)
+		k.transfer(ev.proc, ev.gen)
 	case ev.fn != nil:
 		ev.fn()
 	default:
@@ -232,9 +245,9 @@ func (k *Kernel) RunUntil(t Time) {
 // Pending reports the number of queued events.
 func (k *Kernel) Pending() int { return len(k.heap) + int(k.ringTail-k.ringHead) }
 
-// Close aborts every live process so their goroutines exit. It must be
-// called after Run returns (not from inside an event), typically deferred
-// right after New in tests. Close is idempotent.
+// Close aborts every live process and retires the pooled coroutines. It
+// must be called after Run returns (not from inside an event), typically
+// deferred right after New in tests. Close is idempotent.
 func (k *Kernel) Close() {
 	if k.closed {
 		return
@@ -242,10 +255,18 @@ func (k *Kernel) Close() {
 	k.closed = true
 	for p := range k.procs {
 		if !p.done && p.parked {
-			p.abort()
+			// Parked mid-body: stop makes the pending yield report abort,
+			// unwinding the body. Never started: stop retires the coroutine
+			// before it runs, so the body never executes.
+			p.stop()
 		}
 	}
 	k.procs = nil
+	for i, p := range k.freeProcs {
+		p.stop() // idle at the reuse point: the trampoline returns
+		k.freeProcs[i] = nil
+	}
+	k.freeProcs = nil
 	k.slab, k.free, k.heap, k.ring = nil, nil, nil, nil
 	k.ringHead, k.ringTail = 0, 0
 }

@@ -2,12 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"time"
 )
 
-// token is passed between the kernel and a process over the handoff
-// channel; abort asks the process to unwind (used by Kernel.Close).
-type token struct{ abort bool }
+// unit is the (empty) value exchanged over a process's coroutine switch.
+type unit = struct{}
 
 // abortError is the sentinel panic value used to unwind aborted processes.
 type abortError struct{}
@@ -17,84 +17,135 @@ func (abortError) Error() string { return "sim: process aborted" }
 // Proc is a cooperative simulation process. Exactly one process (or the
 // kernel) runs at a time; a process yields control back to the kernel by
 // blocking in virtual time (Sleep, Signal.Wait, Queue.Get). All Proc methods
-// must be called from the process's own goroutine.
+// must be called from the process itself while it is running.
 //
-// Control transfers ride a single unbuffered channel: the kernel sends a
-// resume token and then receives the yield; the process receives its
-// resume and sends when parking or finishing. The two sides strictly
-// alternate, so one channel serves both directions with one rendezvous
-// per direction (the seed design used separate resume and yield channels,
-// costing an extra allocation per process and a second channel's worth of
-// synchronization per handoff).
+// Processes are continuations, not goroutines: each Proc owns an iter.Pull
+// coroutine, parking is a same-thread stack switch (yield), and the kernel
+// resumes a runnable process with another (resume). No channel rendezvous,
+// no scheduler round-trip through the Go runtime — the whole simulation is
+// one OS-schedulable flow of control. Finished processes are recycled: the
+// coroutine body is a trampoline loop that parks at a reuse point when its
+// current function returns, and Kernel.Go hands the idle coroutine its next
+// body, so steady-state spawning allocates nothing (see Kernel.spawn).
 type Proc struct {
 	k      *Kernel
 	name   string
-	hand   chan token
+	fn     func(p *Proc)          // body when spawned via Go
+	fn2    func(p *Proc, arg any) // body when spawned via GoJob …
+	arg    any                    // … with its argument
+	resume func() (unit, bool)    // kernel side: run until next park
+	stop   func()                 // kernel side: unwind (Kernel.Close)
+	yield  func(unit) bool        // process side: park, false = aborting
 	done   bool
 	parked bool
+	// gen distinguishes incarnations of a recycled Proc: wakeup events
+	// record the generation they were scheduled for, and the kernel drops
+	// wakeups whose generation is stale (the body they targeted finished
+	// and the coroutine now runs a different spawn).
+	gen uint32
+}
+
+// main is the coroutine trampoline: it runs the current body, parks at the
+// reuse point, and loops when the kernel hands it the next body. Aborts
+// (Kernel.Close stopping a parked process) unwind the body via an
+// abortError panic that is recovered here, ending the coroutine; genuine
+// panics from a body are re-raised and propagate out of Kernel.Step to the
+// caller of Kernel.Run.
+func (p *Proc) main(yield func(unit) bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortError); !ok {
+				panic(r)
+			}
+		}
+	}()
+	p.yield = yield
+	for {
+		if p.fn != nil {
+			p.fn(p)
+		} else {
+			p.fn2(p, p.arg)
+		}
+		p.done = true
+		p.fn, p.fn2, p.arg = nil, nil, nil
+		if !yield(unit{}) {
+			return // kernel closed while idle in the free pool
+		}
+	}
+}
+
+// spawn readies a Proc for a new body: recycled from the free pool when
+// possible, otherwise a fresh coroutine. The caller assigns the body and
+// schedules the start event.
+func (k *Kernel) spawn(name string) *Proc {
+	if k.closed {
+		// The kernel is shut down: hand back an inert Proc (never
+		// registered, never scheduled) so late spawners don't crash.
+		return &Proc{k: k, name: name, parked: true}
+	}
+	var p *Proc
+	if n := len(k.freeProcs); n > 0 {
+		p = k.freeProcs[n-1]
+		k.freeProcs[n-1] = nil
+		k.freeProcs = k.freeProcs[:n-1]
+		p.done = false
+	} else {
+		p = &Proc{k: k}
+		p.resume, p.stop = iter.Pull(p.main)
+	}
+	p.name = name
+	p.parked = true // blocked awaiting its start event
+	k.procs[p] = struct{}{}
+	return p
 }
 
 // Go spawns fn as a new process. fn starts executing at the current virtual
 // time, after already-scheduled events for this instant.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		k:      k,
-		name:   name,
-		hand:   make(chan token),
-		parked: true, // blocked awaiting its start event
-	}
-	k.procs[p] = struct{}{}
-	go func() {
-		defer func() {
-			p.done = true
-			if r := recover(); r != nil {
-				if _, ok := r.(abortError); ok {
-					// Aborted by Kernel.Close: the closer awaits the yield.
-					p.hand <- token{}
-					return
-				}
-				// A real panic: surface it, then release control.
-				panic(r)
-			}
-			p.hand <- token{}
-		}()
-		if t := <-p.hand; t.abort {
-			panic(abortError{})
-		}
-		fn(p)
-	}()
+	p := k.spawn(name)
+	p.fn = fn
 	k.scheduleProc(k.now, p)
 	return p
 }
 
-// transfer hands control to p and waits for it to park or finish.
-// Called only from the kernel event loop.
-func (k *Kernel) transfer(p *Proc) {
-	if p.done {
+// GoJob spawns fn(p, arg) as a new process. It is Go for hot paths: a
+// package-level fn plus a recycled arg struct spawns without the closure
+// allocation Go's fn would cost (the mpi layer's per-message protocol
+// processes use it).
+func (k *Kernel) GoJob(name string, fn func(p *Proc, arg any), arg any) *Proc {
+	p := k.spawn(name)
+	p.fn2, p.arg = fn, arg
+	k.scheduleProc(k.now, p)
+	return p
+}
+
+// transfer hands control to p until it parks or finishes. gen is the
+// process generation the wakeup was scheduled for; a stale generation means
+// the target body already finished and the Proc was recycled, so the wakeup
+// is dropped. Called only from the kernel event loop.
+func (k *Kernel) transfer(p *Proc, gen uint32) {
+	if p.done || p.gen != gen {
 		return
 	}
 	p.parked = false
-	p.hand <- token{}
-	<-p.hand
+	_, idle := p.resume()
 	if p.done {
 		delete(k.procs, p)
+		p.gen++
+		if idle {
+			// The trampoline parked at its reuse point: pool the coroutine.
+			k.freeProcs = append(k.freeProcs, p)
+		}
 	}
 }
 
 // park blocks the process until the kernel resumes it.
 func (p *Proc) park() {
 	p.parked = true
-	p.hand <- token{}
-	if t := <-p.hand; t.abort {
+	if !p.yield(unit{}) {
 		panic(abortError{})
 	}
 	p.parked = false
-}
-
-// abort unwinds a parked process. Called only from Kernel.Close.
-func (p *Proc) abort() {
-	p.hand <- token{abort: true}
-	<-p.hand
 }
 
 // Kernel returns the kernel this process runs on.

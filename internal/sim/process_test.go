@@ -239,3 +239,72 @@ func TestYieldRunsPendingSameInstantEvents(t *testing.T) {
 		t.Fatalf("order = %v", order)
 	}
 }
+
+// TestProcPanicPropagatesToRun pins the scheduler's panic contract: a
+// genuine panic in a process body unwinds through the coroutine switch
+// and surfaces at the Kernel.Run caller on the same goroutine, where it
+// can be recovered (exp.Run converts it to Result.Err). Under the old
+// goroutine-per-process model the panic killed the whole program.
+func TestProcPanicPropagatesToRun(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	k.Go("boom", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		panic("kaboom")
+	})
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		k.Run()
+	}()
+	if got != "kaboom" {
+		t.Fatalf("recovered %v from Run, want the process body's panic value", got)
+	}
+}
+
+// TestGoJobRunsWithArg covers the closure-free spawn variant.
+func TestGoJobRunsWithArg(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	got := 0
+	k.GoJob("job", func(p *Proc, arg any) {
+		p.Sleep(time.Microsecond)
+		got = *arg.(*int)
+	}, new(int))
+	k.Run()
+	if got != 0 {
+		t.Fatalf("job arg = %d, want 0", got)
+	}
+	v := 41
+	k.GoJob("job2", func(p *Proc, arg any) { got = *arg.(*int) + 1 }, &v)
+	k.Run()
+	if got != 42 {
+		t.Fatalf("job2 result = %d, want 42", got)
+	}
+}
+
+// TestProcReuseDropsStaleState checks coroutine recycling: a proc that
+// finishes is reused by the next Go, runs the new body from a clean
+// state, and events scheduled for the old incarnation never wake the new
+// one (generation guard).
+func TestProcReuseDropsStaleState(t *testing.T) {
+	k := New(1)
+	defer k.Close()
+	first := k.Go("first", func(p *Proc) { p.Sleep(time.Microsecond) })
+	k.Run()
+	if !first.Done() {
+		t.Fatal("first proc did not finish")
+	}
+	runs := 0
+	second := k.Go("second", func(p *Proc) {
+		runs++
+		p.Sleep(time.Microsecond)
+	})
+	if second != first {
+		t.Fatal("finished coroutine was not recycled by the next Go")
+	}
+	k.Run()
+	if runs != 1 || !second.Done() {
+		t.Fatalf("recycled proc ran %d times (done=%v), want exactly once", runs, second.Done())
+	}
+}

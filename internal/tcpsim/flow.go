@@ -121,9 +121,14 @@ type Flow struct {
 	Stats FlowStats
 }
 
+// notifyEntry is one registered delivery callback: fn, or fn1(arg) for
+// callers that avoid the closure by passing a package-level function plus
+// a pooled argument (see SendArg).
 type notifyEntry struct {
 	off int64
 	fn  func()
+	fn1 func(any)
+	arg any
 }
 
 // NewFlow opens a one-directional TCP stream over path using stack cfg and
@@ -208,6 +213,32 @@ func (f *Flow) Send(p *sim.Proc, n int64, delivered func()) {
 		}
 		return
 	}
+	f.write(p, n)
+	if delivered != nil {
+		f.notifyAt(f.queued, delivered)
+	}
+	f.writeMu.Unlock()
+}
+
+// SendArg is Send with an argument-taking delivered callback: fn(arg) runs
+// when the destination has received the last of the n bytes. A
+// package-level fn plus a pooled arg lets per-message protocol layers
+// (mpi's delivery arena) register completion without the closure Send's
+// delivered parameter would allocate.
+func (f *Flow) SendArg(p *sim.Proc, n int64, fn func(any), arg any) {
+	if n <= 0 {
+		f.notifyAtArg(f.queued, fn, arg)
+		return
+	}
+	f.write(p, n)
+	f.notifyAtArg(f.queued, fn, arg)
+	f.writeMu.Unlock()
+}
+
+// write blocks p until the send socket buffer has accepted n bytes,
+// holding the write lock. The caller registers its delivery callback and
+// then releases writeMu, so the notify order matches the write order.
+func (f *Flow) write(p *sim.Proc, n int64) {
 	f.writeMu.Lock(p)
 	remaining := n
 	for remaining > 0 {
@@ -227,10 +258,6 @@ func (f *Flow) Send(p *sim.Proc, n int64, delivered func()) {
 		f.enqueue(chunk, nil)
 		remaining -= chunk
 	}
-	if delivered != nil {
-		f.notifyAt(f.queued, delivered)
-	}
-	f.writeMu.Unlock()
 }
 
 // SendAsync enqueues n bytes without blocking for buffer space; it is meant
@@ -241,6 +268,17 @@ func (f *Flow) SendAsync(n int64, delivered func()) {
 		n = 1
 	}
 	f.enqueue(n, delivered)
+}
+
+// SendAsyncArg is SendAsync with an argument-taking delivered callback.
+func (f *Flow) SendAsyncArg(n int64, fn func(any), arg any) {
+	if n <= 0 {
+		n = 1
+	}
+	f.queued += n
+	f.Stats.BytesQueued += n
+	f.notifyAtArg(f.queued, fn, arg)
+	f.pump()
 }
 
 // sndbufFree returns the free space in the send socket buffer.
@@ -273,6 +311,21 @@ func (f *Flow) notifyAt(off int64, fn func()) {
 	f.notifies = append(f.notifies, notifyEntry{})
 	copy(f.notifies[i+1:], f.notifies[i:])
 	f.notifies[i] = notifyEntry{off: off, fn: fn}
+}
+
+// notifyAtArg registers fn(arg) to run once deliveredOff ≥ off.
+func (f *Flow) notifyAtArg(off int64, fn func(any), arg any) {
+	if off <= f.deliveredOff {
+		f.k.Schedule(f.k.Now(), func() { fn(arg) })
+		return
+	}
+	i := len(f.notifies)
+	for i > 0 && f.notifies[i-1].off > off {
+		i--
+	}
+	f.notifies = append(f.notifies, notifyEntry{})
+	copy(f.notifies[i+1:], f.notifies[i:])
+	f.notifies[i] = notifyEntry{off: off, fn1: fn, arg: arg}
 }
 
 // pump transmits the next congestion-window round if the flow is idle and
@@ -452,7 +505,11 @@ func (f *Flow) deliver(endOff int64) {
 	clear(f.notifies[m:])
 	f.notifies = f.notifies[:m]
 	for i := range f.due {
-		f.due[i].fn()
+		if e := &f.due[i]; e.fn1 != nil {
+			e.fn1(e.arg)
+		} else {
+			e.fn()
+		}
 	}
 	clear(f.due) // release the callback refs until the next round
 	f.due = f.due[:0]

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# bench_check.sh — CI regression gate for the committed BENCH trajectory.
+#
+# Compares a fresh benchmark run against the "after" block of the newest
+# committed BENCH_PR*.json and fails when either tracked metric regresses
+# more than TOLERANCE (default 10%):
+#
+#   - KernelEvents ns/op   (best of 3, the kernel's pure event-loop cost)
+#   - SweepPaperMatrix allocs/op  (the end-to-end allocation lock; allocs
+#     are deterministic, so 3 iterations amortize warmup without noise)
+#
+# Wall-clock of the full sweep is deliberately NOT gated: shared CI
+# runners are too noisy for a 10% time bound on a 150ms benchmark, while
+# the tight KernelEvents loop and the allocation count are stable.
+#
+# Usage:
+#   scripts/bench_check.sh
+#
+# Environment:
+#   TOLERANCE  allowed regression factor (default 1.10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance=${TOLERANCE:-1.10}
+
+baseline=$(ls BENCH_PR*.json | sort -V | tail -1)
+if [[ -z "$baseline" ]]; then
+    echo "bench_check: no BENCH_PR*.json baseline committed" >&2
+    exit 1
+fi
+
+# read_after FILE KEY FIELD: pull one numeric field of one benchmark out
+# of the baseline's "after" block (the committed snapshot format is
+# frozen: one benchmark per line, see scripts/bench.sh).
+read_after() {
+    awk -v key="$2" -v field="$3" '
+        /"after"/ { in_after = 1 }
+        in_after && $0 ~ "\"" key "\"" {
+            if (match($0, "\"" field "\": *[0-9.]+")) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/.*: */, "", v)
+                print v
+                exit
+            }
+        }' "$1"
+}
+
+base_kernel_ns=$(read_after "$baseline" KernelEvents ns_per_op)
+base_sweep_allocs=$(read_after "$baseline" SweepPaperMatrix allocs_per_op)
+if [[ -z "$base_kernel_ns" || -z "$base_sweep_allocs" ]]; then
+    echo "bench_check: could not parse KernelEvents/SweepPaperMatrix from $baseline" >&2
+    exit 1
+fi
+
+# bench_field PATTERN BENCHTIME COUNT UNIT: run a benchmark and print the
+# smallest observed value of the metric next to UNIT in `go test` output.
+bench_field() {
+    go test -run '^$' -bench "$1" -benchmem -benchtime "$2" -count "$3" . |
+        awk -v unit="$4" '
+            /^Benchmark/ {
+                for (i = 2; i <= NF; i++)
+                    if ($i == unit && (best == "" || $(i-1) + 0 < best + 0))
+                        best = $(i-1)
+            }
+            END {
+                if (best == "") exit 1
+                print best
+            }'
+}
+
+kernel_ns=$(bench_field 'BenchmarkKernelEvents$' 1s 3 ns/op)
+sweep_allocs=$(bench_field 'BenchmarkSweepPaperMatrix$' 3x 1 allocs/op)
+
+status=0
+check() { # NAME FRESH BASE
+    if awk -v fresh="$2" -v base="$3" -v tol="$tolerance" \
+           'BEGIN { exit !(fresh + 0 > base * tol) }'; then
+        echo "bench_check: REGRESSION $1: $2 vs baseline $3 (tolerance x$tolerance, $baseline)" >&2
+        status=1
+    else
+        echo "bench_check: ok $1: $2 vs baseline $3 ($baseline)"
+    fi
+}
+check "KernelEvents ns/op" "$kernel_ns" "$base_kernel_ns"
+check "SweepPaperMatrix allocs/op" "$sweep_allocs" "$base_sweep_allocs"
+exit $status
