@@ -50,7 +50,7 @@ func run(args []string, out, errOut io.Writer) error {
 	nodes := fs.Int("nodes", 4, "nodes per site")
 	grid := fs.Bool("grid", true, "span Rennes and Nancy (otherwise one cluster)")
 	sitesStr := fs.String("sites", "", `explicit per-site layout, e.g. "rennes:8+nancy:4+sophia:4" (overrides -nodes/-grid)`)
-	placementStr := fs.String("placement", "", "rank placement: block, round-robin, master:<site> (default block)")
+	placementStr := fs.String("placement", "", "rank placement: block, round-robin, strided:<k>, master:<site> (default block)")
 	pattern := fs.String("pattern", "alltoall", "pattern: pingpong, ring, alltoall, bcast, allreduce, barrier")
 	sizeStr := fs.String("size", "1M", "message size (supports k/M/G suffixes)")
 	iters := fs.Int("iters", 10, "pattern repetitions")

@@ -27,6 +27,15 @@
 //
 //	sweep -shard 1/4 -cache-remote http://stately:8077
 //	sweep -cache ~/.cache/sweep -cache-remote http://stately:8077 -push
+//
+// With a cmd/sweepd control plane the partitioning is automatic:
+// -submit posts the matrix as a job and waits for the fleet, -worker
+// turns the invocation into a pull-based fleet worker that leases
+// cells, computes them, and publishes results through the server's
+// verified store. Workers can be killed and added at any time.
+//
+//	sweep -submit http://stately:8078 -workload pattern:alltoall
+//	sweep -worker http://stately:8078 -workers 4
 package main
 
 import (
@@ -188,7 +197,7 @@ func run(args []string, out, errOut io.Writer) error {
 	implsStr := fs.String("impls", "all", `implementations: "all" (TCP + the four MPI), "mpi" (the four), or a comma list`)
 	tuningsStr := fs.String("tunings", "default,tcp,full", "tuning levels to cross (default, tcp, full)")
 	topoStr := fs.String("topo", "grid", `topologies to cross: grid, cluster, or per-site layouts like "rennes:8+nancy:4"`)
-	placementStr := fs.String("placement", "", "rank placement for every topology: block, round-robin, master:<site> (default block)")
+	placementStr := fs.String("placement", "", "rank placement for every topology: block, round-robin, strided:<k>, master:<site> (default block)")
 	nodes := fs.Int("nodes", 1, "nodes per site (grid) / half the cluster size")
 	workloadStr := fs.String("workload", "pingpong", "workload: pingpong, trace, npb[:BENCH|:all], pattern:NAME, ray2mesh[:SITE|:all]")
 	reps := fs.Int("reps", 50, "pingpong round trips per size / trace message count")
@@ -203,6 +212,13 @@ func run(args []string, out, errOut io.Writer) error {
 	pullFlag := fs.Bool("pull", false, "instead of sweeping, download every -cache-remote entry missing from -cache, then exit (with -push too: pull first, then push)")
 	faultsStr := fs.String("faults", "", `seeded fault plan applied to every experiment: semicolon-separated clauses "seed=N", "<time> down|up site=S|host=H", "<time> loss <p> [site=|host=]", "<time> jitter <dur> [site=|host=]" — e.g. "seed=7; 100ms down site=rennes; 300ms up site=rennes"`)
 	shardStr := fs.String("shard", "", `run only shard i of n ("i/n"): a deterministic fingerprint-keyed partition of the matrix, so shards on different machines can share one -cache-remote server (or merge their -cache directories by plain file copy)`)
+	submitURL := fs.String("submit", "", "submit the matrix to the cmd/sweepd control plane at this URL and wait for the fleet, rendering results like a local run")
+	detach := fs.Bool("detach", false, "with -submit: print the job ID and return immediately instead of waiting")
+	slicesFlag := fs.Int("slices", 0, "with -submit: lease slices to partition the job into (0 = server default)")
+	workerURL := fs.String("worker", "", "run as a pull-based fleet worker against the cmd/sweepd control plane at this URL (matrix flags are ignored; the server decides what runs)")
+	workerID := fs.String("worker-id", "", "worker name in leases and liveness reports (default host:pid)")
+	workerPoll := fs.Duration("worker-poll", 250*time.Millisecond, "with -worker: wait between empty lease polls")
+	workerIdleExit := fs.Int("worker-idle-exit", 0, "with -worker: exit after this many consecutive empty polls (0 = poll forever)")
 	guidelines := fs.Bool("guidelines", false, "after the sweep, run the Hunold-style self-consistency guideline suite (collective patterns at -size x -iters) for every impl x tuning x topology and flag configurations where a specialized collective loses to a composition of general ones (e.g. Allgather slower than Gather+Bcast)")
 	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	format := fs.String("format", "table", "output: table, csv, json")
@@ -253,6 +269,44 @@ func run(args []string, out, errOut io.Writer) error {
 		}
 		if failed > 0 {
 			return fmt.Errorf("%d entries failed to sync", failed)
+		}
+		return nil
+	}
+	// -worker is the fleet's execution side: an endless pull loop against
+	// a sweepd control plane. The matrix flags are ignored — the server
+	// decides what runs — but -workers sizes the local pool and -cache
+	// gives the worker a warm local tier under the server store.
+	if *workerURL != "" {
+		if *submitURL != "" {
+			return fmt.Errorf("-worker and -submit are exclusive: one invocation is either fleet muscle or the submitting client")
+		}
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			id = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		client, err := exp.NewQueueClient(*workerURL)
+		if err != nil {
+			return err
+		}
+		runner, _, err := exp.NewRunnerCache(*workers, *cacheDir, *workerURL)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "worker %s: polling %s (%d-worker pool)\n", id, *workerURL, runner.Workers())
+		rep := client.Work(exp.WorkerConfig{
+			ID:       id,
+			Runner:   runner,
+			Poll:     *workerPoll,
+			IdleExit: *workerIdleExit,
+			Log:      errOut,
+		})
+		fmt.Fprintln(out, rep)
+		if rep.Errors > 0 || rep.Rejected > 0 {
+			return fmt.Errorf("worker finished degraded: %d transport errors, %d rejected reports", rep.Errors, rep.Rejected)
 		}
 		return nil
 	}
@@ -348,6 +402,19 @@ func run(args []string, out, errOut io.Writer) error {
 			all[i].Faults = faults
 		}
 	}
+	// -submit hands the whole matrix to a sweepd control plane instead of
+	// running it here: the server partitions and leases it to the worker
+	// fleet, this invocation waits and then pulls every cell back through
+	// the verified read path, rendering exactly like a local run.
+	if *submitURL != "" {
+		if !shard.IsAll() {
+			return fmt.Errorf("-shard does not combine with -submit: the control plane partitions the matrix itself")
+		}
+		if *guidelines {
+			return fmt.Errorf("-guidelines is a local post-processor; drop -submit")
+		}
+		return submit(out, errOut, *submitURL, all, *slicesFlag, *detach, *format, *workloadStr)
+	}
 	exps := shard.Select(all)
 	runner, remote, err := exp.NewRunnerCache(*workers, *cacheDir, *remoteURL)
 	if err != nil {
@@ -426,6 +493,78 @@ func run(args []string, out, errOut io.Writer) error {
 	// has been printed) so scripts can gate on self-consistency.
 	if guidelineViolations > 0 {
 		return fmt.Errorf("%d guideline violations", guidelineViolations)
+	}
+	return nil
+}
+
+// submit is the -submit mode: post the matrix as one job, wait for the
+// fleet (progress on stderr), pull the finished cells back in submission
+// order, and render them like a local run. Failed cells have no stored
+// result; they are reported on stderr and fail the invocation, mirroring
+// the local failed-experiment exit path.
+func submit(out, errOut io.Writer, url string, cells []exp.Experiment, slices int, detach bool, format, workload string) error {
+	client, err := exp.NewQueueClient(url)
+	if err != nil {
+		return err
+	}
+	st, err := client.Submit(cells, slices)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "job %s: %d cells submitted, %d already cached\n", st.ID, st.Total, st.Cached)
+	if detach {
+		// The job ID is the machine-readable output; progress lives at
+		// GET /v1/jobs/<id> and /statusz.
+		fmt.Fprintln(out, st.ID)
+		return nil
+	}
+	start := time.Now()
+	last := ""
+	final, err := client.WaitJob(st.ID, time.Second, func(s exp.JobStatus) {
+		line := fmt.Sprintf("job %s: %d/%d done, %d leased, %d queued, %d failed, %d workers",
+			s.ID, s.Done, s.Total, s.Leased, s.Queued, s.Failed, len(s.Workers))
+		if line != last {
+			fmt.Fprintln(errOut, line)
+			last = line
+		}
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	// Pull every finished cell through the same verified read path the
+	// workers published through; order is the submission order, so the
+	// rendering is byte-identical to a local run of the same matrix.
+	store, err := exp.NewRemoteStore(url, nil)
+	if err != nil {
+		return err
+	}
+	results := make([]exp.Result, 0, len(cells))
+	for _, e := range cells {
+		if res, ok := store.Load(e.Fingerprint()); ok {
+			results = append(results, res)
+		}
+	}
+	switch format {
+	case "json":
+		if err := exp.WriteJSON(out, results); err != nil {
+			return err
+		}
+	case "csv":
+		if err := exp.WriteCSV(out, results); err != nil {
+			return err
+		}
+	default:
+		title := fmt.Sprintf("Sweep job %s: %d experiments (%s workload)", st.ID, len(results), workload)
+		fmt.Fprintln(out, exp.MatrixTable(title, results))
+		fmt.Fprintf(out, "%d experiments, %d computed by the fleet, %d cached, wall time %v\n",
+			len(results), final.Computed, final.Cached, wall.Round(time.Millisecond))
+	}
+	if final.Failed > 0 {
+		for _, f := range final.Failures {
+			fmt.Fprintf(errOut, "failed: %s: %s\n", f.Name, f.Err)
+		}
+		return fmt.Errorf("%d of %d cells failed", final.Failed, final.Total)
 	}
 	return nil
 }

@@ -2,11 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -425,5 +429,131 @@ func TestRunCachePersists(t *testing.T) {
 	}
 	if !strings.Contains(secondErr, "0 computed, 4 from disk") {
 		t.Errorf("second run recomputed cells: %s", secondErr)
+	}
+}
+
+// newSweepdServer starts an in-process sweepd control plane (job queue
+// over a fresh store) for fleet tests.
+func newSweepdServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	store, err := exp.NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := exp.NewJobQueue(store, 30*time.Second, 4)
+	srv := httptest.NewServer(exp.NewQueueHandler(q, exp.NewCacheServer(store)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunFleetSubmitMatchesLocal: -submit against a sweepd with one
+// -worker invocation produces output byte-identical to a local run of
+// the same matrix, and resubmission computes nothing.
+func TestRunFleetSubmitMatchesLocal(t *testing.T) {
+	srv := newSweepdServer(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var workerOut, workerErr strings.Builder
+		args := []string{"-worker", srv.URL, "-worker-id", "w1",
+			"-worker-poll", "10ms", "-worker-idle-exit", "300", "-workers", "2"}
+		if err := run(args, &workerOut, &workerErr); err != nil {
+			t.Errorf("worker: %v\n%s", err, workerErr.String())
+		}
+	}()
+
+	var fleetOut, fleetErr strings.Builder
+	if err := run(append([]string{"-submit", srv.URL, "-format", "json"}, tinyArgs...), &fleetOut, &fleetErr); err != nil {
+		t.Fatalf("submit: %v\n%s", err, fleetErr.String())
+	}
+	var directOut, directErr strings.Builder
+	if err := run(append([]string{"-format", "json"}, tinyArgs...), &directOut, &directErr); err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	if fleetOut.String() != directOut.String() {
+		t.Errorf("fleet output differs from the local run:\nfleet:  %s\ndirect: %s",
+			fleetOut.String(), directOut.String())
+	}
+
+	// Resubmission: the store already holds every cell, so the job is
+	// done on arrival — same bytes, nothing computed, no worker needed.
+	var reOut, reErr strings.Builder
+	if err := run(append([]string{"-submit", srv.URL, "-format", "json"}, tinyArgs...), &reOut, &reErr); err != nil {
+		t.Fatalf("resubmit: %v\n%s", err, reErr.String())
+	}
+	if reOut.String() != directOut.String() {
+		t.Error("resubmitted job renders different bytes")
+	}
+	if !strings.Contains(reErr.String(), "4 already cached") {
+		t.Errorf("resubmission recomputed cells: %s", reErr.String())
+	}
+	wg.Wait()
+}
+
+// TestRunFleetDetachAndBadCombos: -detach prints the job ID and
+// returns; the fleet flags refuse contradictory combinations.
+func TestRunFleetDetachAndBadCombos(t *testing.T) {
+	srv := newSweepdServer(t)
+	var out, errOut strings.Builder
+	if err := run(append([]string{"-submit", srv.URL, "-detach"}, tinyArgs...), &out, &errOut); err != nil {
+		t.Fatalf("detach submit: %v", err)
+	}
+	if id := strings.TrimSpace(out.String()); !regexp.MustCompile(`^j[0-9]{4,}$`).MatchString(id) {
+		t.Errorf("-detach printed %q, want a bare job ID", id)
+	}
+	for _, args := range [][]string{
+		{"-submit", srv.URL, "-worker", srv.URL},
+		{"-submit", srv.URL, "-shard", "1/2"},
+		{"-submit", srv.URL, "-guidelines"},
+		{"-submit", "not-a-url"},
+		{"-worker", "not-a-url"},
+	} {
+		var out, errOut strings.Builder
+		if err := run(append(append([]string{}, args...), tinyArgs...), &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunPushPartialFailureExitsNonzero: a server that 422s entries
+// mid-sync must surface in the report line and fail the invocation.
+func TestRunPushPartialFailureExitsNonzero(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if err := run(append([]string{"-cache", dir}, tinyArgs...), &out, &errOut); err != nil {
+		t.Fatalf("warm-up sweep: %v", err)
+	}
+
+	// A store whose ingest rejects every other PUT.
+	store, err := exp.NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := exp.NewCacheHandler(store)
+	var mu sync.Mutex
+	puts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			mu.Lock()
+			puts++
+			reject := puts%2 == 0
+			mu.Unlock()
+			if reject {
+				http.Error(w, "synthetic ingest refusal", http.StatusUnprocessableEntity)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var pushOut, pushErr strings.Builder
+	err = run([]string{"-cache", dir, "-cache-remote", srv.URL, "-push"}, &pushOut, &pushErr)
+	if err == nil || !strings.Contains(err.Error(), "failed to sync") {
+		t.Fatalf("partial-failure push returned %v, want a failed-to-sync error", err)
+	}
+	if !strings.Contains(pushOut.String(), "2 failed") {
+		t.Errorf("push report hides the failures: %q", pushOut.String())
 	}
 }

@@ -1,0 +1,133 @@
+// Command sweepd is the sweep fleet's control plane: it serves a
+// persistent result store (an exp.DiskCache, same protocol as
+// cmd/cached) and, on top of it, an HTTP job queue that partitions
+// submitted experiment matrices into fingerprint-keyed shard slices and
+// leases them to pull-based workers:
+//
+//	sweepd -cache /srv/repro-cache -addr :8078
+//	sweep -submit http://stately:8078 -workload pattern:alltoall   # submit + wait
+//	sweep -worker http://stately:8078                              # on each machine
+//
+// Workers publish every computed result through the store's verified
+// ingest (PUT /v1/results/<fp>, re-hashed on arrival) before reporting
+// the cell done, and the queue re-verifies by reading the entry back —
+// a lying or stale worker cannot mark a cell complete. Leases expire
+// when a worker stops reporting (kill -9 loses zero cells: the slice
+// requeues whole), and idle workers steal the back half of the
+// largest straggler's slice. Because results are pure functions of
+// their experiment and writes are content-addressed and idempotent,
+// duplicated compute from expiry or stealing is harmless.
+//
+// Endpoints: the full cached results protocol (GET /healthz,
+// GET/HEAD/PUT /v1/results...), POST/GET /v1/jobs, GET /v1/jobs/{id},
+// POST /v1/jobs/{id}/report, POST /v1/lease, and GET /statusz (store
+// counters + every job's progress). The queue is in-memory; the store
+// is the durable state, so restarting sweepd and resubmitting a sweep
+// recomputes nothing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+}
+
+// errFlagParse marks a parse failure the FlagSet has already reported on
+// stderr; main must not print it a second time.
+var errFlagParse = errors.New("flag parsing failed")
+
+// stop receives the shutdown signals; tests inject into it directly.
+var stop = make(chan os.Signal, 1)
+
+// logRequests is the -v middleware: one stderr line per request.
+func logRequests(h http.Handler, errOut io.Writer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(errOut, "sweepd: %s %s from %s\n", r.Method, r.URL.Path, r.RemoteAddr)
+		h.ServeHTTP(w, r)
+	})
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	dir := fs.String("cache", "", "result-store directory to serve (required; created if missing)")
+	addr := fs.String("addr", "127.0.0.1:8078", "listen address (host:port; port 0 picks a free one)")
+	ttl := fs.Duration("lease-ttl", exp.DefaultLeaseTTL, "lease deadline: a worker silent this long forfeits its slice")
+	slices := fs.Int("slices", exp.DefaultJobSlices, "lease slices to partition each job into (submissions may override)")
+	verbose := fs.Bool("v", false, "log every request to stderr")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse // already reported by the FlagSet
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(errOut, "unexpected arguments: %v\n", fs.Args())
+		return errFlagParse
+	}
+	if *dir == "" {
+		return fmt.Errorf("-cache is required: the result-store directory to serve")
+	}
+	if *ttl <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive, got %v", *ttl)
+	}
+	if *slices < 1 {
+		return fmt.Errorf("-slices must be ≥ 1, got %d", *slices)
+	}
+	store, err := exp.NewDiskCache(*dir)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	queue := exp.NewJobQueue(store, *ttl, *slices)
+	var handler http.Handler = exp.NewQueueHandler(queue, exp.NewCacheServer(store))
+	if *verbose {
+		handler = logRequests(handler, errOut)
+	}
+	n, err := store.Len()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sweepd: serving %s (%d entries) on http://%s (lease TTL %v, %d slices/job)\n",
+		store.Dir(), n, ln.Addr(), *ttl, *slices)
+
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(errOut, "sweepd: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -7,14 +7,18 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 )
 
-// NewCacheHandler exposes a DiskCache directory over HTTP — the handler
-// cmd/cached serves and RemoteStore speaks to.
+// CacheServer exposes a DiskCache directory over HTTP — the handler
+// cmd/cached serves and RemoteStore speaks to — and counts what it
+// serves, so a fleet can be debugged from /statusz instead of server
+// logs.
 //
-// Routes:
+// Routes (see Handler):
 //
 //	GET  /healthz               liveness probe ("ok")
+//	GET  /statusz               JSON status: entry count + served counters
 //	GET  /v1/results            sorted JSON array of committed fingerprints
 //	HEAD /v1/results/<fp>       200 when a loadable entry exists, else 404
 //	GET  /v1/results/<fp>       the entry's schema-version envelope
@@ -31,14 +35,81 @@ import (
 // temp-file+rename, which makes concurrent PUTs of one fingerprint
 // idempotent (content-addressed writers always carry identical
 // payloads).
-func NewCacheHandler(c *DiskCache) http.Handler {
+type CacheServer struct {
+	cache *DiskCache
+
+	hits   int64 // entries served (GET/HEAD 200)
+	misses int64 // clean 404s on the entry routes
+	puts   int64 // accepted ingests
+	errors int64 // rejected or failed requests (422, 413, 400, 500)
+}
+
+// NewCacheServer wraps a DiskCache in the HTTP serving layer.
+func NewCacheServer(c *DiskCache) *CacheServer { return &CacheServer{cache: c} }
+
+// NewCacheHandler is the one-call wiring used when the counters are not
+// needed separately: NewCacheServer(c).Handler().
+func NewCacheHandler(c *DiskCache) http.Handler { return NewCacheServer(c).Handler() }
+
+// Stats reports the served/ingested accounting in RemoteStats form —
+// the same shape the client side prints, seen from the server: Hits
+// are entries served, Misses clean 404s, Pushes accepted PUTs, Errors
+// rejected or failed requests.
+func (s *CacheServer) Stats() RemoteStats {
+	return RemoteStats{
+		RemoteHits: atomic.LoadInt64(&s.hits),
+		Misses:     atomic.LoadInt64(&s.misses),
+		Pushes:     atomic.LoadInt64(&s.puts),
+		Errors:     atomic.LoadInt64(&s.errors),
+	}
+}
+
+// ServerStatus is the /statusz document: how many verified entries the
+// directory holds and what the server has served since boot.
+type ServerStatus struct {
+	// Entries counts committed fingerprints in the cache directory.
+	Entries int `json:"entries"`
+	// Served is the request accounting (see CacheServer.Stats).
+	Served RemoteStats `json:"served"`
+	// Jobs is the control-plane section, present only on a sweepd
+	// server (nil on a plain cached instance).
+	Jobs []JobStatus `json:"jobs,omitempty"`
+}
+
+// Handler builds the full route set, statusz included.
+func (s *CacheServer) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.register(mux)
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		s.writeStatus(w, nil)
+	})
+	return mux
+}
+
+// writeStatus renders the /statusz document, optionally with a
+// control-plane jobs section.
+func (s *CacheServer) writeStatus(w http.ResponseWriter, jobs []JobStatus) {
+	n, err := s.cache.Len()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ServerStatus{Entries: n, Served: s.Stats(), Jobs: jobs})
+}
+
+// register installs the health and results routes on a mux — shared by
+// the plain cached handler and the sweepd control plane, so both speak
+// the identical results protocol and a worker's RemoteStore cannot tell
+// them apart.
+func (s *CacheServer) register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET "+resultsPath, func(w http.ResponseWriter, r *http.Request) {
-		fps, err := c.Fingerprints()
+		fps, err := s.cache.Fingerprints()
 		if err != nil {
+			atomic.AddInt64(&s.errors, 1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -54,16 +125,19 @@ func NewCacheHandler(c *DiskCache) http.Handler {
 		if !ok {
 			return
 		}
-		res, ok := c.Load(fp)
+		res, ok := s.cache.Load(fp)
 		if !ok {
+			atomic.AddInt64(&s.misses, 1)
 			http.NotFound(w, r)
 			return
 		}
 		blob, err := json.Marshal(diskEntry{Schema: DiskSchemaVersion, Result: res})
 		if err != nil {
+			atomic.AddInt64(&s.errors, 1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		atomic.AddInt64(&s.hits, 1)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set(schemaHeader, strconv.Itoa(DiskSchemaVersion))
 		w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
@@ -76,6 +150,7 @@ func NewCacheHandler(c *DiskCache) http.Handler {
 		}
 		blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
 		if err != nil {
+			atomic.AddInt64(&s.errors, 1)
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
 				http.Error(w, fmt.Sprintf("entry exceeds %d bytes", maxEntryBytes), http.StatusRequestEntityTooLarge)
@@ -88,16 +163,18 @@ func NewCacheHandler(c *DiskCache) http.Handler {
 		if err != nil {
 			// The one status RemoteStore surfaces loudly: the peer's
 			// entry is untrustworthy and was refused, not stored.
+			atomic.AddInt64(&s.errors, 1)
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
-		if err := c.Store(fp, res); err != nil {
+		if err := s.cache.Store(fp, res); err != nil {
+			atomic.AddInt64(&s.errors, 1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		atomic.AddInt64(&s.puts, 1)
 		w.WriteHeader(http.StatusNoContent)
 	})
-	return mux
 }
 
 // entryKey extracts and validates the {fp} path element. Anything that

@@ -1,0 +1,562 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobQueue is the scheduling state machine behind cmd/sweepd: jobs are
+// submitted sweep matrices, partitioned into shard slices by experiment
+// fingerprint (the same Shard.owns grammar that powers `sweep -shard`),
+// and leased slice-by-slice to pull-based workers. The queue never
+// executes anything itself — workers compute cells through their own
+// Runner and publish results into the server's DiskCache over the
+// verified ingest path; a cell is marked done only when that store can
+// serve a loadable entry for its fingerprint (the same decodeEntry
+// trust gate every cache read passes), so a lying or stale worker's
+// claim is rejected exactly like a corrupt cache file.
+//
+// The state machine is deterministic where it matters for the repo's
+// contracts: cells keep submission order, the slice partition is a pure
+// function of the fingerprints, a resubmitted matrix resolves entirely
+// from the store at submission time (recomputing nothing), and a
+// worker that dies mid-lease loses zero cells — its lease expires and
+// the unfinished cells return to the queue for the next Lease call.
+//
+// All methods are safe for concurrent use.
+type JobQueue struct {
+	mu     sync.Mutex
+	store  *DiskCache
+	ttl    time.Duration
+	slices int
+	// now is the queue's clock; tests replace it to drive lease expiry.
+	now func() time.Time
+
+	jobs  map[string]*queueJob
+	order []string // job IDs in submission order
+	seq   int      // job and lease ID counter
+}
+
+// Default queue tuning: leases outlive any reasonable cell (renewal
+// rides on every report), and a matrix splits into enough slices that a
+// small fleet load-balances without stealing.
+const (
+	DefaultLeaseTTL  = 60 * time.Second
+	DefaultJobSlices = 8
+	// maxJobCells bounds one submission, keeping a confused client from
+	// growing server memory without limit.
+	maxJobCells = 1 << 20
+)
+
+type cellState int
+
+const (
+	cellQueued cellState = iota
+	cellLeased
+	cellDone
+	cellFailed
+)
+
+type queueCell struct {
+	exp   Experiment
+	state cellState
+	err   string // failure report, when state == cellFailed
+}
+
+// queueSlice is the lease unit: one shard's pending fingerprints, in
+// submission order. Stolen slices are appended with the Shard of their
+// donor (provenance only; ownership is the pending list).
+type queueSlice struct {
+	shard   Shard
+	pending []string // fingerprints not yet done/failed
+	lease   *queueLease
+}
+
+type queueLease struct {
+	id       string
+	worker   string
+	deadline time.Time
+	// stolen accumulates fingerprints moved to another worker since this
+	// lease's last report; the next report returns them as a drop list
+	// so the donor stops computing work it no longer owns.
+	stolen []string
+}
+
+type queueWorker struct {
+	lastSeen time.Time
+	leased   int // cells currently under one of this worker's leases
+	done     int // verified completions reported by this worker
+}
+
+type queueJob struct {
+	id       string
+	cells    map[string]*queueCell
+	cellIDs  []string // fingerprints in submission order
+	slices   []*queueSlice
+	workers  map[string]*queueWorker
+	cached   int // done at submission, served by the store
+	computed int // done via verified worker reports
+	failed   int
+}
+
+// NewJobQueue creates a queue over the given result store. ttl <= 0
+// uses DefaultLeaseTTL; slices <= 0 uses DefaultJobSlices.
+func NewJobQueue(store *DiskCache, ttl time.Duration, slices int) *JobQueue {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if slices <= 0 {
+		slices = DefaultJobSlices
+	}
+	return &JobQueue{
+		store:  store,
+		ttl:    ttl,
+		slices: slices,
+		now:    time.Now,
+		jobs:   make(map[string]*queueJob),
+	}
+}
+
+// WorkerStatus is one worker's liveness line in a job status.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// LastSeenMS is how long ago the worker last leased or reported,
+	// in milliseconds (an age, so no absolute clocks cross the wire).
+	LastSeenMS int64 `json:"last_seen_ms"`
+	// Live reports a worker seen within one lease TTL.
+	Live   bool `json:"live"`
+	Leased int  `json:"leased"`
+	Done   int  `json:"done"`
+}
+
+// CellFailure names one failed cell of a job.
+type CellFailure struct {
+	Fingerprint string `json:"fingerprint"`
+	Name        string `json:"name"`
+	Err         string `json:"err"`
+}
+
+// JobStatus is the progress snapshot served at /v1/jobs/<id>.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // running, done, failed
+	Total int    `json:"total"`
+
+	Queued int `json:"queued"`
+	Leased int `json:"leased"`
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+
+	// Cached cells were resolved from the result store at submission;
+	// Computed cells became done through verified worker reports.
+	// Cached + Computed == Done.
+	Cached   int `json:"cached"`
+	Computed int `json:"computed"`
+
+	Workers  []WorkerStatus `json:"workers,omitempty"`
+	Failures []CellFailure  `json:"failures,omitempty"`
+}
+
+// Finished reports a job with no outstanding cells.
+func (s JobStatus) Finished() bool { return s.State != "running" }
+
+// LeaseGrant hands one slice's pending cells to a worker. The worker
+// owns them until Deadline passes without a report; results publish
+// through the store and each cell is closed out by a Report call.
+type LeaseGrant struct {
+	Job   string `json:"job"`
+	Lease string `json:"lease"`
+	TTLMS int64  `json:"ttl_ms"`
+	// Cells lists the leased experiments in submission order.
+	Cells []Experiment `json:"cells"`
+}
+
+// ReportAck answers one cell report.
+type ReportAck struct {
+	// Verified is true when a done report was accepted: the server's
+	// store served a loadable entry for the fingerprint. A false ack
+	// means the claim was rejected — the cell stays pending and the
+	// worker should push the result before reporting again.
+	Verified bool `json:"verified"`
+	// Drop lists fingerprints stolen from this lease since its last
+	// report; the worker must stop computing them.
+	Drop []string `json:"drop,omitempty"`
+	// JobState echoes the job's state after the report.
+	JobState string `json:"job_state"`
+}
+
+// Submit registers a sweep matrix as a job. Cells already served by the
+// result store resolve to done immediately — resubmitting a completed
+// sweep yields a job that is done on arrival with Computed == 0. A
+// submission whose cell set matches a still-running job returns that
+// job instead of queueing duplicate work (workers publish to one
+// content-addressed store, so the first job's results serve both
+// callers). Duplicate fingerprints within one submission collapse to
+// the first occurrence.
+func (q *JobQueue) Submit(cells []Experiment, slices int) (JobStatus, error) {
+	if len(cells) == 0 {
+		return JobStatus{}, fmt.Errorf("exp: empty job submission")
+	}
+	if len(cells) > maxJobCells {
+		return JobStatus{}, fmt.Errorf("exp: job of %d cells exceeds the %d-cell limit", len(cells), maxJobCells)
+	}
+	if slices <= 0 {
+		slices = q.slices
+	}
+
+	fps := make([]string, 0, len(cells))
+	byFP := make(map[string]Experiment, len(cells))
+	for _, e := range cells {
+		fp := e.Fingerprint()
+		if _, dup := byFP[fp]; dup {
+			continue
+		}
+		byFP[fp] = e
+		fps = append(fps, fp)
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	if j := q.findActiveLocked(fps); j != nil {
+		return q.statusLocked(j), nil
+	}
+
+	q.seq++
+	j := &queueJob{
+		id:      fmt.Sprintf("j%04d", q.seq),
+		cells:   make(map[string]*queueCell, len(fps)),
+		cellIDs: fps,
+		workers: make(map[string]*queueWorker),
+	}
+	var queued []string
+	for _, fp := range fps {
+		c := &queueCell{exp: byFP[fp]}
+		j.cells[fp] = c
+		// The trust gate decides "already done": only a loadable,
+		// verified entry spares the cell, never mere file presence.
+		if _, ok := q.store.Load(fp); ok {
+			c.state = cellDone
+			j.cached++
+			continue
+		}
+		queued = append(queued, fp)
+	}
+	// Partition pending cells into shard slices. Shards that own no
+	// cell are dropped; each surviving slice is one lease unit.
+	for i := 1; i <= slices; i++ {
+		sh := Shard{Index: i, Count: slices}
+		var pending []string
+		for _, fp := range queued {
+			if sh.owns(fp) {
+				pending = append(pending, fp)
+			}
+		}
+		if len(pending) > 0 {
+			j.slices = append(j.slices, &queueSlice{shard: sh, pending: pending})
+		}
+	}
+	q.jobs[j.id] = j
+	q.order = append(q.order, j.id)
+	return q.statusLocked(j), nil
+}
+
+// findActiveLocked returns a running job whose cell set is exactly fps.
+func (q *JobQueue) findActiveLocked(fps []string) *queueJob {
+	want := append([]string(nil), fps...)
+	sort.Strings(want)
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if q.stateLocked(j) != "running" || len(j.cellIDs) != len(want) {
+			continue
+		}
+		have := append([]string(nil), j.cellIDs...)
+		sort.Strings(have)
+		match := true
+		for i := range have {
+			if have[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return j
+		}
+	}
+	return nil
+}
+
+// Lease grants the named worker one slice of pending work, scanning
+// jobs in submission order. When every slice of every running job is
+// already leased and alive, the largest in-flight slice with at least
+// two pending cells is split and its back half re-leased to the caller
+// (work stealing for stragglers; the donor learns of the theft as a
+// drop list on its next report). ok == false means there is nothing to
+// hand out right now — the worker should poll again.
+func (q *JobQueue) Lease(worker string) (LeaseGrant, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	now := q.now()
+
+	for _, id := range q.order {
+		j := q.jobs[id]
+		// Unleased (or expired, cleaned by expireLocked) slice first.
+		for _, sl := range j.slices {
+			if sl.lease == nil && len(sl.pending) > 0 {
+				return q.grantLocked(j, sl, worker, now), true
+			}
+		}
+	}
+	// Nothing free: steal from the biggest straggler slice.
+	for _, id := range q.order {
+		j := q.jobs[id]
+		var donor *queueSlice
+		for _, sl := range j.slices {
+			if sl.lease == nil || sl.lease.worker == worker || len(sl.pending) < 2 {
+				continue
+			}
+			if donor == nil || len(sl.pending) > len(donor.pending) {
+				donor = sl
+			}
+		}
+		if donor == nil {
+			continue
+		}
+		half := len(donor.pending) / 2
+		stolen := append([]string(nil), donor.pending[len(donor.pending)-half:]...)
+		donor.pending = donor.pending[:len(donor.pending)-half]
+		donor.lease.stolen = append(donor.lease.stolen, stolen...)
+		if w := j.workers[donor.lease.worker]; w != nil {
+			w.leased -= len(stolen)
+		}
+		sl := &queueSlice{shard: donor.shard, pending: stolen}
+		j.slices = append(j.slices, sl)
+		return q.grantLocked(j, sl, worker, now), true
+	}
+	return LeaseGrant{}, false
+}
+
+func (q *JobQueue) grantLocked(j *queueJob, sl *queueSlice, worker string, now time.Time) LeaseGrant {
+	q.seq++
+	sl.lease = &queueLease{
+		id:       fmt.Sprintf("l%04d", q.seq),
+		worker:   worker,
+		deadline: now.Add(q.ttl),
+	}
+	w := q.workerLocked(j, worker, now)
+	w.leased += len(sl.pending)
+	grant := LeaseGrant{
+		Job:   j.id,
+		Lease: sl.lease.id,
+		TTLMS: q.ttl.Milliseconds(),
+		Cells: make([]Experiment, 0, len(sl.pending)),
+	}
+	for _, fp := range sl.pending {
+		j.cells[fp].state = cellLeased
+		grant.Cells = append(grant.Cells, j.cells[fp].exp)
+	}
+	return grant
+}
+
+func (q *JobQueue) workerLocked(j *queueJob, worker string, now time.Time) *queueWorker {
+	w := j.workers[worker]
+	if w == nil {
+		w = &queueWorker{}
+		j.workers[worker] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// Report closes out one cell of a lease. A done claim is verified
+// against the result store — no loadable entry, no progress — while a
+// failure report records the worker's error and terminates the cell.
+// Reports renew the lease deadline (they are the worker's heartbeat)
+// and return any fingerprints stolen from the lease since the last
+// report. Reports for cells that are already settled, or from leases
+// that have expired, are acknowledged idempotently: verified progress
+// is never discarded, whoever delivers it.
+func (q *JobQueue) Report(jobID, leaseID, worker, fp string, failed bool, errMsg string) (ReportAck, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	now := q.now()
+
+	j, ok := q.jobs[jobID]
+	if !ok {
+		return ReportAck{}, fmt.Errorf("exp: unknown job %q", jobID)
+	}
+	c, ok := j.cells[fp]
+	if !ok {
+		return ReportAck{}, fmt.Errorf("exp: job %s has no cell %s", jobID, fp)
+	}
+	w := q.workerLocked(j, worker, now)
+
+	// Find the lease (it may have expired or been superseded; the report
+	// is still processed, just without a deadline to renew).
+	var lease *queueLease
+	for _, sl := range j.slices {
+		if sl.lease != nil && sl.lease.id == leaseID {
+			lease = sl.lease
+			break
+		}
+	}
+	ack := ReportAck{Verified: true}
+	if lease != nil {
+		lease.deadline = now.Add(q.ttl)
+		ack.Drop = lease.stolen
+		lease.stolen = nil
+	}
+
+	if c.state == cellDone || c.state == cellFailed {
+		ack.JobState = q.stateLocked(j)
+		return ack, nil // already settled; idempotent ack
+	}
+	switch {
+	case failed:
+		c.state = cellFailed
+		c.err = errMsg
+		j.failed++
+	default:
+		if _, ok := q.store.Load(fp); !ok {
+			// The trust boundary: the worker claims done but the store
+			// cannot serve a verified entry. Rejected — the cell stays
+			// pending and will be re-leased if this worker gives up.
+			ack.Verified = false
+			ack.JobState = q.stateLocked(j)
+			return ack, nil
+		}
+		c.state = cellDone
+		j.computed++
+		w.done++
+	}
+	q.settleLocked(j, fp)
+	ack.JobState = q.stateLocked(j)
+	return ack, nil
+}
+
+// settleLocked removes a settled fingerprint from whichever slice still
+// carries it and releases drained leases.
+func (q *JobQueue) settleLocked(j *queueJob, fp string) {
+	for _, sl := range j.slices {
+		for i, p := range sl.pending {
+			if p != fp {
+				continue
+			}
+			sl.pending = append(sl.pending[:i], sl.pending[i+1:]...)
+			if sl.lease != nil {
+				if w := j.workers[sl.lease.worker]; w != nil {
+					w.leased--
+				}
+				if len(sl.pending) == 0 {
+					sl.lease = nil
+				}
+			}
+			return
+		}
+	}
+}
+
+// expireLocked returns the cells of overdue leases to the queue. Called
+// at the top of every public operation, so expiry needs no timer: dead
+// workers are discovered the next time anyone talks to the queue.
+func (q *JobQueue) expireLocked() {
+	now := q.now()
+	for _, id := range q.order {
+		j := q.jobs[id]
+		for _, sl := range j.slices {
+			if sl.lease == nil || !now.After(sl.lease.deadline) {
+				continue
+			}
+			if w := j.workers[sl.lease.worker]; w != nil {
+				w.leased -= len(sl.pending)
+			}
+			for _, fp := range sl.pending {
+				j.cells[fp].state = cellQueued
+			}
+			sl.lease = nil
+		}
+	}
+}
+
+func (q *JobQueue) stateLocked(j *queueJob) string {
+	done := j.cached + j.computed
+	if done+j.failed < len(j.cellIDs) {
+		return "running"
+	}
+	if j.failed > 0 {
+		return "failed"
+	}
+	return "done"
+}
+
+func (q *JobQueue) statusLocked(j *queueJob) JobStatus {
+	now := q.now()
+	st := JobStatus{
+		ID:       j.id,
+		State:    q.stateLocked(j),
+		Total:    len(j.cellIDs),
+		Done:     j.cached + j.computed,
+		Failed:   j.failed,
+		Cached:   j.cached,
+		Computed: j.computed,
+	}
+	for _, fp := range j.cellIDs {
+		switch j.cells[fp].state {
+		case cellQueued:
+			st.Queued++
+		case cellLeased:
+			st.Leased++
+		case cellFailed:
+			c := j.cells[fp]
+			st.Failures = append(st.Failures, CellFailure{
+				Fingerprint: fp,
+				Name:        c.exp.Name(),
+				Err:         c.err,
+			})
+		}
+	}
+	names := make([]string, 0, len(j.workers))
+	for name := range j.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := j.workers[name]
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:         name,
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+			Live:       now.Sub(w.lastSeen) <= q.ttl,
+			Leased:     w.leased,
+			Done:       w.done,
+		})
+	}
+	return st
+}
+
+// Status snapshots one job.
+func (q *JobQueue) Status(jobID string) (JobStatus, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	j, ok := q.jobs[jobID]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return q.statusLocked(j), true
+}
+
+// Jobs snapshots every job in submission order.
+func (q *JobQueue) Jobs() []JobStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	out := make([]JobStatus, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.statusLocked(q.jobs[id]))
+	}
+	return out
+}

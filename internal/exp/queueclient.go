@@ -1,0 +1,264 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// QueueClient speaks the sweepd control-plane protocol: submitting
+// jobs, polling their progress, and — for workers — pulling leases and
+// reporting cells. Results never travel through this client: workers
+// publish them via a RemoteStore pointed at the same server, and
+// submitters pull them back through the identical verified read path.
+type QueueClient struct {
+	base   string
+	client *http.Client
+}
+
+// NewQueueClient connects to a cmd/sweepd server at baseURL
+// (http[s]://host:port).
+func NewQueueClient(baseURL string) (*QueueClient, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+		return nil, fmt.Errorf("exp: bad sweepd URL %q (want http[s]://host:port)", baseURL)
+	}
+	return &QueueClient{
+		base:   strings.TrimSuffix(u.String(), "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}, nil
+}
+
+// post sends one JSON request and decodes the JSON response into out.
+// A 204 returns ok == false with no error (the "nothing for you" lease
+// answer); any non-2xx status is an error carrying the server's text.
+func (c *QueueClient) post(path string, in, out any) (bool, error) {
+	blob, err := json.Marshal(in)
+	if err != nil {
+		return false, fmt.Errorf("exp: marshal %s request: %w", path, err)
+	}
+	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("exp: sweepd POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, fmt.Errorf("exp: sweepd POST %s: bad response: %w", path, err)
+		}
+	}
+	return true, nil
+}
+
+func (c *QueueClient) get(path string, out any) error {
+	resp, err := c.client.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("exp: sweepd GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("exp: sweepd GET %s: bad response: %w", path, err)
+	}
+	return nil
+}
+
+// Submit registers a sweep matrix and returns the job's status —
+// possibly already done, when every cell resolved from the server's
+// store. slices <= 0 uses the server default.
+func (c *QueueClient) Submit(cells []Experiment, slices int) (JobStatus, error) {
+	var st JobStatus
+	if _, err := c.post(jobsPath, submitRequest{Cells: cells, Slices: slices}, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Job fetches one job's progress snapshot.
+func (c *QueueClient) Job(id string) (JobStatus, error) {
+	var st JobStatus
+	if err := c.get(jobsPath+"/"+url.PathEscape(id), &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Jobs fetches every job in submission order.
+func (c *QueueClient) Jobs() ([]JobStatus, error) {
+	var all []JobStatus
+	if err := c.get(jobsPath, &all); err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+// Lease pulls one slice of pending work for the named worker. A nil
+// grant with a nil error means the queue has nothing right now.
+func (c *QueueClient) Lease(worker string) (*LeaseGrant, error) {
+	var grant LeaseGrant
+	ok, err := c.post(leasePath, leaseRequest{Worker: worker}, &grant)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &grant, nil
+}
+
+// Report closes out one cell of a lease (see JobQueue.Report).
+func (c *QueueClient) Report(job, lease, worker, fp string, failed bool, errMsg string) (ReportAck, error) {
+	var ack ReportAck
+	req := reportRequest{Lease: lease, Worker: worker, Fingerprint: fp, Failed: failed, Err: errMsg}
+	if _, err := c.post(jobsPath+"/"+url.PathEscape(job)+"/report", req, &ack); err != nil {
+		return ReportAck{}, err
+	}
+	return ack, nil
+}
+
+// WaitJob polls a job until it leaves the running state, invoking
+// progress (when non-nil) on every snapshot.
+func (c *QueueClient) WaitJob(id string, poll time.Duration, progress func(JobStatus)) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if progress != nil {
+			progress(st)
+		}
+		if st.Finished() {
+			return st, nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+// WorkerConfig drives one Work loop.
+type WorkerConfig struct {
+	// ID names the worker in leases and liveness reporting.
+	ID string
+	// Runner executes leased cells. Its backing store must be a
+	// RemoteStore pointed at the same sweepd server, so every computed
+	// result publishes through the verified ingest path before the
+	// worker reports the cell done — that publish is what Report's
+	// server-side verification checks.
+	Runner *Runner
+	// Poll is the idle wait between empty lease responses (default
+	// 250ms).
+	Poll time.Duration
+	// IdleExit, when positive, ends the loop after this many
+	// consecutive empty polls (a server that stays unreachable counts
+	// too); zero polls forever.
+	IdleExit int
+	// Log, when non-nil, receives one line per lease and per defect.
+	Log io.Writer
+}
+
+// WorkerReport summarizes one Work loop.
+type WorkerReport struct {
+	// Leases counts grants processed.
+	Leases int
+	// Cells counts cells run and reported (computed or served from a
+	// cache tier; failures included).
+	Cells int
+	// Failed counts cells whose run ended in Result.Err.
+	Failed int
+	// Dropped counts cells skipped because the queue reassigned them
+	// to another worker mid-lease.
+	Dropped int
+	// Rejected counts done reports the server refused to verify.
+	Rejected int
+	// Errors counts transport defects (failed lease or report calls).
+	Errors int
+}
+
+// String is the worker's one-line exit summary.
+func (r WorkerReport) String() string {
+	return fmt.Sprintf("worker: %d leases, %d cells (%d failed, %d dropped), %d rejected reports, %d transport errors",
+		r.Leases, r.Cells, r.Failed, r.Dropped, r.Rejected, r.Errors)
+}
+
+// Work runs the pull-based worker loop: lease a slice, run its cells
+// through the Runner (each result publishing to the server via the
+// Runner's RemoteStore), report each cell, repeat. Cells the queue
+// reassigns to another worker (work stealing) arrive as drop lists on
+// report acks and are skipped. The loop is crash-safe by construction:
+// no state lives in the worker, so killing it anywhere loses nothing —
+// its lease expires and the cells are re-leased.
+func (c *QueueClient) Work(cfg WorkerConfig) WorkerReport {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "worker %s: "+format+"\n", append([]any{cfg.ID}, args...)...)
+		}
+	}
+	var rep WorkerReport
+	idle := 0
+	for {
+		grant, err := c.Lease(cfg.ID)
+		if err != nil {
+			rep.Errors++
+			logf("lease: %v", err)
+		}
+		if grant == nil {
+			idle++
+			if cfg.IdleExit > 0 && idle >= cfg.IdleExit {
+				return rep
+			}
+			time.Sleep(cfg.Poll)
+			continue
+		}
+		idle = 0
+		rep.Leases++
+		logf("lease %s: %d cells of job %s", grant.Lease, len(grant.Cells), grant.Job)
+		dropped := make(map[string]bool)
+		for _, e := range grant.Cells {
+			fp := e.Fingerprint()
+			if dropped[fp] {
+				rep.Dropped++
+				continue
+			}
+			res := cfg.Runner.Run(e)
+			rep.Cells++
+			failed := res.Err != ""
+			if failed {
+				rep.Failed++
+				logf("cell %s failed: %s", fp, res.Err)
+			}
+			ack, err := c.Report(grant.Job, grant.Lease, cfg.ID, fp, failed, res.Err)
+			if err != nil {
+				rep.Errors++
+				logf("report %s: %v", fp, err)
+				continue
+			}
+			if !failed && !ack.Verified {
+				// The server could not verify our publish — most likely
+				// the push behind Runner.Run degraded. Count it and move
+				// on; the cell stays pending and will be re-leased.
+				rep.Rejected++
+				logf("report %s rejected: server has no verified entry", fp)
+			}
+			for _, d := range ack.Drop {
+				dropped[d] = true
+			}
+		}
+	}
+}

@@ -79,26 +79,30 @@ func NewRemoteStore(baseURL string, local *DiskCache) (*RemoteStore, error) {
 	}, nil
 }
 
-// RemoteStats is the RemoteStore's served/published accounting.
+// RemoteStats is the RemoteStore's served/published accounting. The
+// same shape serves both sides of the wire: a client's view of one
+// store, and — via CacheServer.Stats, where Hits/Misses/Pushes count
+// requests answered rather than made — the /statusz document of a
+// cached or sweepd server.
 type RemoteStats struct {
 	// LocalHits were served by the local read-through tier without a
 	// round trip.
-	LocalHits int64
+	LocalHits int64 `json:"local_hits"`
 	// RemoteHits were fetched from the server and verified.
-	RemoteHits int64
+	RemoteHits int64 `json:"remote_hits"`
 	// Misses are clean 404s: the server is healthy but has no entry.
-	Misses int64
+	Misses int64 `json:"misses"`
 	// Pushes counts results published to the server.
-	Pushes int64
+	Pushes int64 `json:"pushes"`
 	// Errors counts degraded remote operations: unreachable server,
 	// non-2xx responses, rejected pushes, and served entries that
 	// failed verification. Each one turned into a miss or a skipped
 	// publish; none affected the results handed to callers.
-	Errors int64
+	Errors int64 `json:"errors"`
 	// LocalErrors counts failed write-behinds into the local tier —
 	// a local-disk problem, not a server one. The remote hits stood;
 	// the affected entries are simply re-fetched next run.
-	LocalErrors int64
+	LocalErrors int64 `json:"local_errors"`
 }
 
 // String is the one-line "remote:" summary the CLI front-ends print on

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -527,5 +528,174 @@ func TestPushPullRoundTrip(t *testing.T) {
 	}
 	if _, err := bare.Pull(); err == nil {
 		t.Error("pull without a local tier accepted")
+	}
+}
+
+// flakyCacheServer wraps a real cache handler so tests can break the
+// transfer of chosen fingerprints: PUTs are 422ed, GETs answer garbage.
+func flakyCacheServer(t *testing.T) (*httptest.Server, *DiskCache, map[string]bool) {
+	t.Helper()
+	store, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := make(map[string]bool)
+	inner := NewCacheHandler(store)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fp := strings.TrimPrefix(r.URL.Path, resultsPath+"/"); broken[fp] {
+			switch r.Method {
+			case http.MethodPut:
+				http.Error(w, "synthetic ingest refusal", http.StatusUnprocessableEntity)
+				return
+			case http.MethodGet:
+				w.Header().Set("Content-Type", "application/json")
+				io.WriteString(w, `{"schema":9999,"result":{}}`) // fails decodeEntry
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, store, broken
+}
+
+// TestRemotePushPartialFailure: a server that refuses some entries
+// mid-sync yields a SyncReport with the failures counted, and a retry
+// after the server heals transfers exactly the failed remainder.
+func TestRemotePushPartialFailure(t *testing.T) {
+	local, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fps []string
+	for _, impl := range []string{mpiimpl.GridMPI, mpiimpl.MPICH2} {
+		for _, tun := range []Tuning{{}, {TCP: true}} {
+			e := tinyPingPong(impl, tun)
+			if err := local.Store(e.Fingerprint(), Run(e)); err != nil {
+				t.Fatal(err)
+			}
+			fps = append(fps, e.Fingerprint())
+		}
+	}
+	srv, _, broken := flakyCacheServer(t)
+	broken[fps[0]] = true
+	broken[fps[2]] = true
+
+	remote, err := NewRemoteStore(srv.URL, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := remote.Push()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 4 || rep.Transferred != 2 || rep.Failed != 2 {
+		t.Fatalf("partial push = %+v, want 2 transferred + 2 failed of 4", rep)
+	}
+	if got := rep.String(); !strings.Contains(got, "2 failed") {
+		t.Errorf("report line hides the failures: %q", got)
+	}
+
+	// Healed server: the retry moves exactly the failed remainder.
+	for fp := range broken {
+		delete(broken, fp)
+	}
+	rep, err = remote.Push()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transferred != 2 || rep.Skipped != 2 || rep.Failed != 0 {
+		t.Fatalf("retry push = %+v, want the 2 failed entries transferred", rep)
+	}
+}
+
+// TestRemotePullPartialFailure: entries that fail verification on the
+// way down are counted failed and never written locally; the healed
+// retry repairs exactly those.
+func TestRemotePullPartialFailure(t *testing.T) {
+	srv, serverStore, broken := flakyCacheServer(t)
+	var fps []string
+	for _, impl := range []string{mpiimpl.GridMPI, mpiimpl.MPICH2} {
+		for _, tun := range []Tuning{{}, {TCP: true}} {
+			e := tinyPingPong(impl, tun)
+			if err := serverStore.Store(e.Fingerprint(), Run(e)); err != nil {
+				t.Fatal(err)
+			}
+			fps = append(fps, e.Fingerprint())
+		}
+	}
+	broken[fps[1]] = true
+	broken[fps[3]] = true
+
+	local, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewRemoteStore(srv.URL, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := remote.Pull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 4 || rep.Transferred != 2 || rep.Failed != 2 {
+		t.Fatalf("partial pull = %+v, want 2 transferred + 2 failed of 4", rep)
+	}
+	for _, fp := range []string{fps[1], fps[3]} {
+		if _, ok := local.Load(fp); ok {
+			t.Errorf("unverifiable entry %s was written locally", fp)
+		}
+	}
+	for fp := range broken {
+		delete(broken, fp)
+	}
+	rep, err = remote.Pull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transferred != 2 || rep.Skipped != 2 || rep.Failed != 0 {
+		t.Fatalf("retry pull = %+v", rep)
+	}
+	if n, _ := local.Len(); n != 4 {
+		t.Errorf("local store holds %d entries after healed pull, want 4", n)
+	}
+}
+
+// TestCacheServerStatusz: the counters behind /statusz track hits,
+// misses, accepted PUTs and rejections, next to the entry count.
+func TestCacheServerStatusz(t *testing.T) {
+	srv, _ := newCacheServer(t)
+	e := tinyPingPong(mpiimpl.GridMPI, Tuning{})
+	fp := e.Fingerprint()
+	entry := srv.URL + resultsPath + "/" + fp
+
+	// One accepted PUT, one rejected (wrong schema generation), one GET
+	// hit, one miss.
+	doPut(t, entry, envelope(t, Run(e), DiskSchemaVersion)).Body.Close()
+	doPut(t, entry, envelope(t, Run(e), DiskSchemaVersion+1)).Body.Close()
+	resp, err := http.Get(entry)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("get = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + resultsPath + "/" + strings.Repeat("0", 16))
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("miss = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/statusz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz = %v, %v", resp, err)
+	}
+	defer resp.Body.Close()
+	var status ServerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	want := ServerStatus{Entries: 1, Served: RemoteStats{RemoteHits: 1, Misses: 1, Pushes: 1, Errors: 1}}
+	if status.Entries != want.Entries || status.Served != want.Served || status.Jobs != nil {
+		t.Fatalf("statusz = %+v, want %+v", status, want)
 	}
 }

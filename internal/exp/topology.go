@@ -43,6 +43,32 @@ const (
 // placeMasterPrefix tags master-on-site placements: "master:<site>".
 const placeMasterPrefix = "master:"
 
+// placeStridedPrefix tags strided placements: "strided:<k>".
+const placeStridedPrefix = "strided:"
+
+// PlaceStrided deals ranks across the sites k nodes at a time: the
+// first site's first k nodes, then the second site's first k, wrapping
+// until every node is used (sites that run out drop out of the
+// rotation). strided:1 deals like round-robin; larger strides keep
+// k-rank neighborhoods intra-site while still interleaving sites —
+// the block-cyclic shape process-grid workloads ask for.
+func PlaceStrided(stride int) Placement {
+	return Placement(fmt.Sprintf("%s%d", placeStridedPrefix, stride))
+}
+
+// strideOf extracts the stride of a strided placement (0 otherwise).
+func (p Placement) strideOf() int {
+	s, ok := strings.CutPrefix(string(p), placeStridedPrefix)
+	if !ok {
+		return 0
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil || k < 1 {
+		return 0
+	}
+	return k
+}
+
 // PlaceMasterOn puts rank 0 on the named site by rotating the layout so
 // that site leads; the remaining sites keep block order. Useful when a
 // workload's root rank (broadcast source, NPB rank 0) must live on a
@@ -79,7 +105,13 @@ func (p Placement) valid(layout []SiteSpec) error {
 		}
 		return fmt.Errorf("exp: placement %q names a site outside the layout", p)
 	}
-	return fmt.Errorf("exp: unknown placement %q (have block, round-robin, master:<site>)", p)
+	if strings.HasPrefix(string(p), placeStridedPrefix) {
+		if p.strideOf() < 1 {
+			return fmt.Errorf("exp: bad placement %q (want strided:<k> with k ≥ 1)", p)
+		}
+		return nil
+	}
+	return fmt.Errorf("exp: unknown placement %q (have block, round-robin, strided:<k>, master:<site>)", p)
 }
 
 // Topology describes the simulated testbed: which sites participate and
@@ -400,12 +432,22 @@ func (t Topology) RankHosts(net *netsim.Network) []*netsim.Host {
 		perSite[i] = net.SiteHosts(s.Name)
 	}
 	var hosts []*netsim.Host
+	stride := 0
 	if t.Placement.normalized() == PlaceRoundRobin {
-		for round := 0; ; round++ {
+		stride = 1
+	} else if k := t.Placement.strideOf(); k > 0 {
+		stride = k
+	}
+	if stride > 0 {
+		// Deal stride hosts per site per rotation; sites that run out of
+		// hosts drop out (round-robin is the stride-1 case).
+		next := make([]int, len(perSite))
+		for {
 			added := false
-			for _, siteHosts := range perSite {
-				if round < len(siteHosts) {
-					hosts = append(hosts, siteHosts[round])
+			for i, siteHosts := range perSite {
+				for k := 0; k < stride && next[i] < len(siteHosts); k++ {
+					hosts = append(hosts, siteHosts[next[i]])
+					next[i]++
 					added = true
 				}
 			}

@@ -174,6 +174,9 @@ func TestTopologyValidate(t *testing.T) {
 		"duplicate site":    Asym(Site(grid5000.Rennes, 2), Site(grid5000.Rennes, 2)),
 		"bad placement":     {Layout: []SiteSpec{{grid5000.Rennes, 2}}, Placement: "scatter"},
 		"master not in set": {Layout: []SiteSpec{{grid5000.Rennes, 2}}, Placement: PlaceMasterOn(grid5000.Nancy)},
+		"zero stride":       {Layout: []SiteSpec{{grid5000.Rennes, 2}}, Placement: PlaceStrided(0)},
+		"bad stride":        {Layout: []SiteSpec{{grid5000.Rennes, 2}}, Placement: "strided:two"},
+		"negative stride":   {Layout: []SiteSpec{{grid5000.Rennes, 2}}, Placement: "strided:-3"},
 	}
 	for name, topo := range cases {
 		if err := topo.Validate(); err == nil {
@@ -261,6 +264,44 @@ func TestRankHostsPlacements(t *testing.T) {
 	}
 	if got := names(PlaceMasterOn(grid5000.Sophia)); !equal(got, []string{"sophia-1", "sophia-2", "rennes-1", "rennes-2", "nancy-1"}) {
 		t.Errorf("master-on-sophia placement = %v", got)
+	}
+	// strided:1 deals one host per site per rotation — round-robin.
+	if got := names(PlaceStrided(1)); !equal(got, names(PlaceRoundRobin)) {
+		t.Errorf("strided:1 placement = %v, want the round-robin order", got)
+	}
+
+	// On an asymmetric layout the stride is visible: two consecutive
+	// ranks per site before rotating, remainders dealt in later passes.
+	wide := Asym(Site(grid5000.Rennes, 4), Site(grid5000.Nancy, 2))
+	wideNet, err := wide.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide.Placement = PlaceStrided(2)
+	hosts := wide.RankHosts(wideNet)
+	got := make([]string, len(hosts))
+	for i, h := range hosts {
+		got[i] = h.Name
+	}
+	if want := []string{"rennes-1", "rennes-2", "nancy-1", "nancy-2", "rennes-3", "rennes-4"}; !equal(got, want) {
+		t.Errorf("strided:2 placement = %v, want %v", got, want)
+	}
+}
+
+// TestStridedPlacementFingerprints: the stride is an experiment axis —
+// each k fingerprints separately, and the frozen block/round-robin
+// fingerprints are untouched by the new grammar.
+func TestStridedPlacementFingerprints(t *testing.T) {
+	base := tinyPingPong(mpiimpl.MPICH2, Tuning{})
+	base.Topology = Asym(Site(grid5000.Rennes, 4), Site(grid5000.Nancy, 2))
+	fps := map[string]bool{}
+	for _, p := range []Placement{PlaceBlock, PlaceRoundRobin, PlaceStrided(1), PlaceStrided(2), PlaceStrided(3)} {
+		e := base
+		e.Topology.Placement = p
+		fps[e.Fingerprint()] = true
+	}
+	if len(fps) != 5 {
+		t.Errorf("got %d distinct fingerprints across 5 placements, want 5", len(fps))
 	}
 }
 
