@@ -44,7 +44,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
@@ -67,6 +69,10 @@ func main() {
 // errFlagParse marks a parse failure the FlagSet has already reported on
 // stderr; main must not print it a second time.
 var errFlagParse = errors.New("flag parsing failed")
+
+// workerStop receives the worker-mode shutdown signals; tests inject
+// into it directly.
+var workerStop = make(chan os.Signal, 1)
 
 func parseImpls(s string) ([]string, error) {
 	switch s {
@@ -217,8 +223,9 @@ func run(args []string, out, errOut io.Writer) error {
 	slicesFlag := fs.Int("slices", 0, "with -submit: lease slices to partition the job into (0 = server default)")
 	workerURL := fs.String("worker", "", "run as a pull-based fleet worker against the cmd/sweepd control plane at this URL (matrix flags are ignored; the server decides what runs)")
 	workerID := fs.String("worker-id", "", "worker name in leases and liveness reports (default host:pid)")
-	workerPoll := fs.Duration("worker-poll", 250*time.Millisecond, "with -worker: wait between empty lease polls")
+	workerPoll := fs.Duration("worker-poll", 0, "with -worker: wait between empty lease polls (0 = the interval the server advertises)")
 	workerIdleExit := fs.Int("worker-idle-exit", 0, "with -worker: exit after this many consecutive empty polls (0 = poll forever)")
+	retryWindow := fs.Duration("retry", exp.DefaultRetryWindow, "with -worker/-submit: retry budget for transient control-plane failures (connection refused, 5xx, timeouts), so the fleet rides through a sweepd restart; 0 fails on the first error")
 	guidelines := fs.Bool("guidelines", false, "after the sweep, run the Hunold-style self-consistency guideline suite (collective patterns at -size x -iters) for every impl x tuning x topology and flag configurations where a specialized collective loses to a composition of general ones (e.g. Allgather slower than Gather+Bcast)")
 	evictStr := fs.String("cache-evict", "", `age/size bound applied to -cache after the run, e.g. "720h", "512M" or "720h,512M"`)
 	format := fs.String("format", "table", "output: table, csv, json")
@@ -292,16 +299,31 @@ func run(args []string, out, errOut io.Writer) error {
 		if err != nil {
 			return err
 		}
-		runner, _, err := exp.NewRunnerCache(*workers, *cacheDir, *workerURL)
+		client.Retry = exp.Backoff{Window: *retryWindow}
+		runner, remote, err := exp.NewRunnerCache(*workers, *cacheDir, *workerURL)
 		if err != nil {
 			return err
 		}
+		if remote != nil {
+			remote.Retry = exp.Backoff{Window: *retryWindow}
+		}
+		// SIGTERM/SIGINT request a graceful exit: the cell in flight
+		// finishes (and reports) before the loop returns.
+		stopCh := make(chan struct{})
+		signal.Notify(workerStop, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(workerStop)
+		go func() {
+			sig := <-workerStop
+			fmt.Fprintf(errOut, "worker %s: %v, finishing current cell\n", id, sig)
+			close(stopCh)
+		}()
 		fmt.Fprintf(errOut, "worker %s: polling %s (%d-worker pool)\n", id, *workerURL, runner.Workers())
 		rep := client.Work(exp.WorkerConfig{
 			ID:       id,
 			Runner:   runner,
 			Poll:     *workerPoll,
 			IdleExit: *workerIdleExit,
+			Stop:     stopCh,
 			Log:      errOut,
 		})
 		fmt.Fprintln(out, rep)
@@ -413,7 +435,7 @@ func run(args []string, out, errOut io.Writer) error {
 		if *guidelines {
 			return fmt.Errorf("-guidelines is a local post-processor; drop -submit")
 		}
-		return submit(out, errOut, *submitURL, all, *slicesFlag, *detach, *format, *workloadStr)
+		return submit(out, errOut, *submitURL, all, *slicesFlag, *detach, *format, *workloadStr, *retryWindow)
 	}
 	exps := shard.Select(all)
 	runner, remote, err := exp.NewRunnerCache(*workers, *cacheDir, *remoteURL)
@@ -502,11 +524,15 @@ func run(args []string, out, errOut io.Writer) error {
 // order, and render them like a local run. Failed cells have no stored
 // result; they are reported on stderr and fail the invocation, mirroring
 // the local failed-experiment exit path.
-func submit(out, errOut io.Writer, url string, cells []exp.Experiment, slices int, detach bool, format, workload string) error {
+func submit(out, errOut io.Writer, url string, cells []exp.Experiment, slices int, detach bool, format, workload string, retry time.Duration) error {
 	client, err := exp.NewQueueClient(url)
 	if err != nil {
 		return err
 	}
+	// The retry window is what lets a waiting submitter survive a sweepd
+	// restart: the journaled queue comes back still holding the job.
+	client.Retry = exp.Backoff{Window: retry}
+	client.Log = errOut
 	st, err := client.Submit(cells, slices)
 	if err != nil {
 		return err
@@ -539,6 +565,7 @@ func submit(out, errOut io.Writer, url string, cells []exp.Experiment, slices in
 	if err != nil {
 		return err
 	}
+	store.Retry = exp.Backoff{Window: retry}
 	results := make([]exp.Result, 0, len(cells))
 	for _, e := range cells {
 		if res, ok := store.Load(e.Fingerprint()); ok {

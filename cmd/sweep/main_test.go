@@ -440,7 +440,7 @@ func newSweepdServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := exp.NewJobQueue(store, 30*time.Second, 4)
+	q := exp.NewJobQueue(store, exp.QueueConfig{TTL: 30 * time.Second, Slices: 4})
 	srv := httptest.NewServer(exp.NewQueueHandler(q, exp.NewCacheServer(store)))
 	t.Cleanup(srv.Close)
 	return srv

@@ -4,7 +4,7 @@
 // submitted experiment matrices into fingerprint-keyed shard slices and
 // leases them to pull-based workers:
 //
-//	sweepd -cache /srv/repro-cache -addr :8078
+//	sweepd -cache /srv/repro-cache -journal /srv/repro-queue -addr :8078
 //	sweep -submit http://stately:8078 -workload pattern:alltoall   # submit + wait
 //	sweep -worker http://stately:8078                              # on each machine
 //
@@ -18,12 +18,20 @@
 // their experiment and writes are content-addressed and idempotent,
 // duplicated compute from expiry or stealing is harmless.
 //
+// With -journal, the queue itself is crash-safe: every transition
+// appends to a write-ahead log in that directory, and a restarted
+// sweepd — even after kill -9 — replays it, re-verifies every claimed
+// done cell against the store, and resumes all in-flight jobs where
+// they stopped. Workers running with a retry window ride through the
+// restart; nothing is resubmitted and no verified cell is recomputed.
+// On SIGTERM/SIGINT the server drains instead of dropping: no new
+// leases, in-flight reports accepted for -drain-grace, state
+// checkpointed, exit 0.
+//
 // Endpoints: the full cached results protocol (GET /healthz,
 // GET/HEAD/PUT /v1/results...), POST/GET /v1/jobs, GET /v1/jobs/{id},
 // POST /v1/jobs/{id}/report, POST /v1/lease, and GET /statusz (store
-// counters + every job's progress). The queue is in-memory; the store
-// is the durable state, so restarting sweepd and resubmitting a sweep
-// recomputes nothing.
+// counters, every job's progress, queue tuning, journal accounting).
 package main
 
 import (
@@ -70,9 +78,13 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	dir := fs.String("cache", "", "result-store directory to serve (required; created if missing)")
+	journalDir := fs.String("journal", "", "queue journal directory: jobs and leases survive restarts (empty = in-memory queue)")
 	addr := fs.String("addr", "127.0.0.1:8078", "listen address (host:port; port 0 picks a free one)")
 	ttl := fs.Duration("lease-ttl", exp.DefaultLeaseTTL, "lease deadline: a worker silent this long forfeits its slice")
 	slices := fs.Int("slices", exp.DefaultJobSlices, "lease slices to partition each job into (submissions may override)")
+	stealMin := fs.Int("steal-min", exp.DefaultStealMin, "smallest pending slice an idle worker may split for work stealing")
+	poll := fs.Duration("poll", exp.DefaultWorkerPoll, "idle-poll interval advertised to workers on lease responses")
+	drainGrace := fs.Duration("drain-grace", 10*time.Second, "on SIGTERM, accept in-flight reports this long before exiting")
 	verbose := fs.Bool("v", false, "log every request to stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -93,6 +105,12 @@ func run(args []string, out, errOut io.Writer) error {
 	if *slices < 1 {
 		return fmt.Errorf("-slices must be ≥ 1, got %d", *slices)
 	}
+	if *stealMin < 2 {
+		return fmt.Errorf("-steal-min must be ≥ 2, got %d", *stealMin)
+	}
+	if *poll <= 0 {
+		return fmt.Errorf("-poll must be positive, got %v", *poll)
+	}
 	store, err := exp.NewDiskCache(*dir)
 	if err != nil {
 		return err
@@ -101,7 +119,21 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
-	queue := exp.NewJobQueue(store, *ttl, *slices)
+	cfg := exp.QueueConfig{TTL: *ttl, Slices: *slices, StealMin: *stealMin, Poll: *poll}
+	var queue *exp.JobQueue
+	if *journalDir != "" {
+		recovered, report, err := exp.RecoverJobQueue(store, cfg, *journalDir)
+		if err != nil {
+			return err
+		}
+		queue = recovered
+		defer queue.Close()
+		if report.Jobs > 0 || report.Records > 0 || report.TailTruncated {
+			fmt.Fprintf(errOut, "sweepd: %s\n", report)
+		}
+	} else {
+		queue = exp.NewJobQueue(store, cfg)
+	}
 	var handler http.Handler = exp.NewQueueHandler(queue, exp.NewCacheServer(store))
 	if *verbose {
 		handler = logRequests(handler, errOut)
@@ -120,7 +152,18 @@ func run(args []string, out, errOut io.Writer) error {
 	go func() { done <- srv.Serve(ln) }()
 	select {
 	case sig := <-stop:
-		fmt.Fprintf(errOut, "sweepd: %v, shutting down\n", sig)
+		fmt.Fprintf(errOut, "sweepd: %v, draining (grace %v)\n", sig, *drainGrace)
+		// Graceful drain: refuse new leases while the server keeps
+		// answering, give in-flight reports a grace window to land,
+		// checkpoint the journal, then stop serving.
+		queue.SetDraining(true)
+		deadline := time.Now().Add(*drainGrace)
+		for queue.ActiveLeases() > 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err := queue.Checkpoint(); err != nil {
+			fmt.Fprintf(errOut, "sweepd: checkpoint: %v\n", err)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return srv.Shutdown(ctx)

@@ -43,6 +43,8 @@ func TestRunBadFlags(t *testing.T) {
 		{"-nope"},                      // unknown flag
 		{"-cache", t.TempDir(), "-lease-ttl", "0s"},
 		{"-cache", t.TempDir(), "-slices", "0"},
+		{"-cache", t.TempDir(), "-steal-min", "1"},
+		{"-cache", t.TempDir(), "-poll", "0s"},
 		{"-cache", t.TempDir(), "-addr", "definitely:not:an:addr"},
 	} {
 		if err := run(args, &out, &errOut); err == nil {
@@ -139,7 +141,7 @@ func TestRunServesFleetAndShutsDown(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down")
 	}
-	if !strings.Contains(errOut.String(), "shutting down") {
+	if !strings.Contains(errOut.String(), "draining") {
 		t.Errorf("no shutdown notice on stderr: %q", errOut.String())
 	}
 
@@ -147,4 +149,91 @@ func TestRunServesFleetAndShutsDown(t *testing.T) {
 	if !bytes.Contains([]byte(out.String()), []byte("sweepd: serving")) {
 		t.Errorf("banner missing: %q", out.String())
 	}
+}
+
+// startSweepd boots run() in a goroutine and waits for the banner to
+// announce the bound address.
+func startSweepd(t *testing.T, args []string) (base string, out, errOut *syncBuffer, done chan error) {
+	t.Helper()
+	out, errOut = &syncBuffer{}, &syncBuffer{}
+	done = make(chan error, 1)
+	go func() { done <- run(args, out, errOut) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; out=%q err=%q", out.String(), errOut.String())
+		}
+		if s := out.String(); strings.Contains(s, "http://") {
+			base = "http://" + strings.Fields(strings.SplitN(s, "http://", 2)[1])[0]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return base, out, errOut, done
+}
+
+// stopSweepd delivers the shutdown signal and waits for run to return.
+func stopSweepd(t *testing.T, done chan error) {
+	t.Helper()
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestRunRestartRecoversJournaledJobs: a -journal sweepd that goes down
+// holding a submitted job comes back still holding it — same store,
+// same journal directory, a fresh port — and a worker drains it to done.
+func TestRunRestartRecoversJournaledJobs(t *testing.T) {
+	cache, journal := t.TempDir(), t.TempDir()
+	args := []string{"-cache", cache, "-journal", journal, "-addr", "127.0.0.1:0", "-drain-grace", "1s"}
+
+	base1, _, _, done1 := startSweepd(t, args)
+	cells := exp.Sweep{
+		Impls:      []string{"GridMPI"},
+		Tunings:    []exp.Tuning{{}, {TCP: true}},
+		Topologies: []exp.Topology{exp.Grid(1)},
+		Workloads:  []exp.Workload{exp.PingPongWorkload([]int{1 << 10}, 2)},
+	}.Experiments()
+	client1, err := exp.NewQueueClient(base1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client1.Submit(cells, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No workers: the job is still fully queued when the plane stops.
+	stopSweepd(t, done1)
+
+	base2, _, errOut2, done2 := startSweepd(t, args)
+	if !strings.Contains(errOut2.String(), "recovered 1 jobs") {
+		t.Errorf("no recovery banner on stderr: %q", errOut2.String())
+	}
+	client2, err := exp.NewQueueClient(base2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client2.Job(st.ID)
+	if err != nil || got.State != "running" || got.Queued != 2 {
+		t.Fatalf("recovered job = %+v, %v — want it running with both cells queued", got, err)
+	}
+	store, err := exp.NewRemoteStore(base2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := client2.Work(exp.WorkerConfig{ID: "w", Runner: exp.NewRunnerStore(1, store), Poll: 5 * time.Millisecond, IdleExit: 3})
+	if rep.Cells != 2 || rep.Errors != 0 || rep.Rejected != 0 {
+		t.Fatalf("worker report = %+v", rep)
+	}
+	final, err := client2.Job(st.ID)
+	if err != nil || final.State != "done" || final.Computed != 2 {
+		t.Fatalf("job after restart = %+v, %v", final, err)
+	}
+	stopSweepd(t, done2)
 }

@@ -74,6 +74,12 @@ type ServerStatus struct {
 	// Jobs is the control-plane section, present only on a sweepd
 	// server (nil on a plain cached instance).
 	Jobs []JobStatus `json:"jobs,omitempty"`
+	// Queue is the control plane's tuning (lease TTL, slices, steal
+	// threshold, poll hint), present only on a sweepd server.
+	Queue *QueueConfigStatus `json:"queue,omitempty"`
+	// Journal is the write-ahead journal accounting, present only on a
+	// sweepd server running with -journal.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // Handler builds the full route set, statusz included.
@@ -86,16 +92,20 @@ func (s *CacheServer) Handler() http.Handler {
 	return mux
 }
 
-// writeStatus renders the /statusz document, optionally with a
-// control-plane jobs section.
-func (s *CacheServer) writeStatus(w http.ResponseWriter, jobs []JobStatus) {
+// writeStatus renders the /statusz document, optionally decorated with
+// control-plane sections (jobs, queue tuning, journal accounting).
+func (s *CacheServer) writeStatus(w http.ResponseWriter, decorate func(*ServerStatus)) {
 	n, err := s.cache.Len()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	st := ServerStatus{Entries: n, Served: s.Stats()}
+	if decorate != nil {
+		decorate(&st)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(ServerStatus{Entries: n, Served: s.Stats(), Jobs: jobs})
+	json.NewEncoder(w).Encode(st)
 }
 
 // register installs the health and results routes on a mux — shared by

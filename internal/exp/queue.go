@@ -25,18 +25,28 @@ import (
 // worker that dies mid-lease loses zero cells — its lease expires and
 // the unfinished cells return to the queue for the next Lease call.
 //
+// A queue may carry a QueueJournal (see RecoverJobQueue): every
+// transition then appends one write-ahead record, so a queue killed at
+// any instant rebuilds the same scheduling state on restart.
+//
 // All methods are safe for concurrent use.
 type JobQueue struct {
-	mu     sync.Mutex
-	store  *DiskCache
-	ttl    time.Duration
-	slices int
+	mu    sync.Mutex
+	store *DiskCache
+	cfg   QueueConfig
 	// now is the queue's clock; tests replace it to drive lease expiry.
 	now func() time.Time
 
 	jobs  map[string]*queueJob
 	order []string // job IDs in submission order
 	seq   int      // job and lease ID counter
+
+	// journal, when set, receives one record per transition and the
+	// periodic compaction snapshots. nil means an in-memory-only queue.
+	journal *QueueJournal
+	// draining refuses new leases (Lease returns ok == false) while
+	// in-flight reports keep landing — the SIGTERM grace window.
+	draining bool
 }
 
 // Default queue tuning: leases outlive any reasonable cell (renewal
@@ -45,10 +55,56 @@ type JobQueue struct {
 const (
 	DefaultLeaseTTL  = 60 * time.Second
 	DefaultJobSlices = 8
+	// DefaultStealMin is the smallest pending count a leased slice must
+	// hold before an idle worker may steal its back half.
+	DefaultStealMin = 2
+	// DefaultWorkerPoll is the idle-poll interval sweepd advertises to
+	// workers that did not pin one with -worker-poll.
+	DefaultWorkerPoll = 250 * time.Millisecond
 	// maxJobCells bounds one submission, keeping a confused client from
 	// growing server memory without limit.
 	maxJobCells = 1 << 20
 )
+
+// QueueConfig is the queue tuning, settable per sweepd process (PR 8
+// hardcoded these at package level). The zero value means defaults.
+type QueueConfig struct {
+	// TTL is the lease lifetime; reports renew it.
+	TTL time.Duration
+	// Slices is the default partition width for submissions that do not
+	// choose their own.
+	Slices int
+	// StealMin is the minimum pending cells a leased slice needs before
+	// it can be split for work stealing.
+	StealMin int
+	// Poll is the idle-poll interval advertised to workers.
+	Poll time.Duration
+}
+
+func (c QueueConfig) withDefaults() QueueConfig {
+	if c.TTL <= 0 {
+		c.TTL = DefaultLeaseTTL
+	}
+	if c.Slices <= 0 {
+		c.Slices = DefaultJobSlices
+	}
+	if c.StealMin < 2 {
+		c.StealMin = DefaultStealMin
+	}
+	if c.Poll <= 0 {
+		c.Poll = DefaultWorkerPoll
+	}
+	return c
+}
+
+// QueueConfigStatus is the tuning block served in /statusz.
+type QueueConfigStatus struct {
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	Slices     int   `json:"slices"`
+	StealMin   int   `json:"steal_min"`
+	PollMS     int64 `json:"poll_ms"`
+	Draining   bool  `json:"draining,omitempty"`
+}
 
 type cellState int
 
@@ -62,7 +118,12 @@ const (
 type queueCell struct {
 	exp   Experiment
 	state cellState
-	err   string // failure report, when state == cellFailed
+	// cached marks a done cell resolved from the store at submission
+	// (as opposed to computed through a verified worker report); the
+	// distinction must survive the journal so recovered progress
+	// counters match.
+	cached bool
+	err    string // failure report, when state == cellFailed
 }
 
 // queueSlice is the lease unit: one shard's pending fingerprints, in
@@ -101,21 +162,112 @@ type queueJob struct {
 	failed   int
 }
 
-// NewJobQueue creates a queue over the given result store. ttl <= 0
-// uses DefaultLeaseTTL; slices <= 0 uses DefaultJobSlices.
-func NewJobQueue(store *DiskCache, ttl time.Duration, slices int) *JobQueue {
-	if ttl <= 0 {
-		ttl = DefaultLeaseTTL
-	}
-	if slices <= 0 {
-		slices = DefaultJobSlices
-	}
+// NewJobQueue creates an in-memory queue over the given result store.
+// Zero fields of cfg take the package defaults. For a crash-safe queue
+// use RecoverJobQueue, which attaches a journal.
+func NewJobQueue(store *DiskCache, cfg QueueConfig) *JobQueue {
 	return &JobQueue{
-		store:  store,
-		ttl:    ttl,
-		slices: slices,
-		now:    time.Now,
-		jobs:   make(map[string]*queueJob),
+		store: store,
+		cfg:   cfg.withDefaults(),
+		now:   time.Now,
+		jobs:  make(map[string]*queueJob),
+	}
+}
+
+// Config returns the queue tuning in /statusz form.
+func (q *JobQueue) Config() QueueConfigStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueConfigStatus{
+		LeaseTTLMS: q.cfg.TTL.Milliseconds(),
+		Slices:     q.cfg.Slices,
+		StealMin:   q.cfg.StealMin,
+		PollMS:     q.cfg.Poll.Milliseconds(),
+		Draining:   q.draining,
+	}
+}
+
+// PollHint is the idle-poll interval the server advertises to workers.
+func (q *JobQueue) PollHint() time.Duration { return q.cfg.Poll }
+
+// JournalStats snapshots the attached journal's accounting; nil when
+// the queue runs without one.
+func (q *JobQueue) JournalStats() *JournalStats {
+	q.mu.Lock()
+	j := q.journal
+	q.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	st := j.Stats()
+	return &st
+}
+
+// SetDraining toggles drain mode: a draining queue grants no new leases
+// (workers' Lease calls return "nothing available") while reports from
+// in-flight leases keep landing. cmd/sweepd drains on SIGTERM so the
+// fleet's current cells finish before the process exits.
+func (q *JobQueue) SetDraining(v bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.draining = v
+}
+
+// ActiveLeases counts unexpired leases across all jobs — the drain
+// loop's exit condition.
+func (q *JobQueue) ActiveLeases() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	n := 0
+	for _, id := range q.order {
+		for _, sl := range q.jobs[id].slices {
+			if sl.lease != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Checkpoint compacts the journal: current state to the snapshot file,
+// write-ahead log truncated. A no-op without a journal. Called by the
+// drain path so a clean shutdown restarts from one snapshot read.
+func (q *JobQueue) Checkpoint() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.journal == nil {
+		return nil
+	}
+	return q.journal.writeSnapshot(q.snapshotLocked())
+}
+
+// Close detaches and closes the journal, if any.
+func (q *JobQueue) Close() error {
+	q.mu.Lock()
+	j := q.journal
+	q.journal = nil
+	q.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Close()
+}
+
+// logLocked journals one transition (no-op for journal-less queues) and
+// compacts when the log has outgrown its threshold. Called with q.mu
+// held, so the snapshot is consistent with the record just appended.
+func (q *JobQueue) logLocked(rec journalRecord) {
+	if q.journal == nil {
+		return
+	}
+	rec.V = journalSchemaVersion
+	rec.T = q.now().UnixNano()
+	if q.journal.Append(rec) {
+		// Best-effort: a failed compaction leaves the oversized log in
+		// place and the next append retries. Append errors are counted
+		// in the journal stats either way.
+		_ = q.journal.writeSnapshot(q.snapshotLocked())
 	}
 }
 
@@ -202,9 +354,6 @@ func (q *JobQueue) Submit(cells []Experiment, slices int) (JobStatus, error) {
 	if len(cells) > maxJobCells {
 		return JobStatus{}, fmt.Errorf("exp: job of %d cells exceeds the %d-cell limit", len(cells), maxJobCells)
 	}
-	if slices <= 0 {
-		slices = q.slices
-	}
 
 	fps := make([]string, 0, len(cells))
 	byFP := make(map[string]Experiment, len(cells))
@@ -219,6 +368,9 @@ func (q *JobQueue) Submit(cells []Experiment, slices int) (JobStatus, error) {
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if slices <= 0 {
+		slices = q.cfg.Slices
+	}
 	q.expireLocked()
 	if j := q.findActiveLocked(fps); j != nil {
 		return q.statusLocked(j), nil
@@ -231,15 +383,19 @@ func (q *JobQueue) Submit(cells []Experiment, slices int) (JobStatus, error) {
 		cellIDs: fps,
 		workers: make(map[string]*queueWorker),
 	}
-	var queued []string
+	var queued, cached []string
+	ordered := make([]Experiment, 0, len(fps))
 	for _, fp := range fps {
 		c := &queueCell{exp: byFP[fp]}
+		ordered = append(ordered, c.exp)
 		j.cells[fp] = c
 		// The trust gate decides "already done": only a loadable,
 		// verified entry spares the cell, never mere file presence.
 		if _, ok := q.store.Load(fp); ok {
 			c.state = cellDone
+			c.cached = true
 			j.cached++
+			cached = append(cached, fp)
 			continue
 		}
 		queued = append(queued, fp)
@@ -260,6 +416,14 @@ func (q *JobQueue) Submit(cells []Experiment, slices int) (JobStatus, error) {
 	}
 	q.jobs[j.id] = j
 	q.order = append(q.order, j.id)
+	q.logLocked(journalRecord{
+		Kind:   "submit",
+		Job:    j.id,
+		Seq:    q.seq,
+		Slices: slices,
+		Cells:  ordered,
+		Cached: cached,
+	})
 	return q.statusLocked(j), nil
 }
 
@@ -291,14 +455,18 @@ func (q *JobQueue) findActiveLocked(fps []string) *queueJob {
 // Lease grants the named worker one slice of pending work, scanning
 // jobs in submission order. When every slice of every running job is
 // already leased and alive, the largest in-flight slice with at least
-// two pending cells is split and its back half re-leased to the caller
-// (work stealing for stragglers; the donor learns of the theft as a
-// drop list on its next report). ok == false means there is nothing to
-// hand out right now — the worker should poll again.
+// StealMin pending cells is split and its back half re-leased to the
+// caller (work stealing for stragglers; the donor learns of the theft
+// as a drop list on its next report). ok == false means there is
+// nothing to hand out right now — the worker should poll again. A
+// draining queue hands out nothing.
 func (q *JobQueue) Lease(worker string) (LeaseGrant, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked()
+	if q.draining {
+		return LeaseGrant{}, false
+	}
 	now := q.now()
 
 	for _, id := range q.order {
@@ -306,7 +474,7 @@ func (q *JobQueue) Lease(worker string) (LeaseGrant, bool) {
 		// Unleased (or expired, cleaned by expireLocked) slice first.
 		for _, sl := range j.slices {
 			if sl.lease == nil && len(sl.pending) > 0 {
-				return q.grantLocked(j, sl, worker, now), true
+				return q.grantLocked(j, sl, worker, "", now), true
 			}
 		}
 	}
@@ -315,7 +483,7 @@ func (q *JobQueue) Lease(worker string) (LeaseGrant, bool) {
 		j := q.jobs[id]
 		var donor *queueSlice
 		for _, sl := range j.slices {
-			if sl.lease == nil || sl.lease.worker == worker || len(sl.pending) < 2 {
+			if sl.lease == nil || sl.lease.worker == worker || len(sl.pending) < q.cfg.StealMin {
 				continue
 			}
 			if donor == nil || len(sl.pending) > len(donor.pending) {
@@ -334,30 +502,42 @@ func (q *JobQueue) Lease(worker string) (LeaseGrant, bool) {
 		}
 		sl := &queueSlice{shard: donor.shard, pending: stolen}
 		j.slices = append(j.slices, sl)
-		return q.grantLocked(j, sl, worker, now), true
+		return q.grantLocked(j, sl, worker, donor.lease.id, now), true
 	}
 	return LeaseGrant{}, false
 }
 
-func (q *JobQueue) grantLocked(j *queueJob, sl *queueSlice, worker string, now time.Time) LeaseGrant {
+// grantLocked leases sl to worker. from names the donor lease when the
+// grant is a steal (journal provenance only).
+func (q *JobQueue) grantLocked(j *queueJob, sl *queueSlice, worker, from string, now time.Time) LeaseGrant {
 	q.seq++
 	sl.lease = &queueLease{
 		id:       fmt.Sprintf("l%04d", q.seq),
 		worker:   worker,
-		deadline: now.Add(q.ttl),
+		deadline: now.Add(q.cfg.TTL),
 	}
 	w := q.workerLocked(j, worker, now)
 	w.leased += len(sl.pending)
 	grant := LeaseGrant{
 		Job:   j.id,
 		Lease: sl.lease.id,
-		TTLMS: q.ttl.Milliseconds(),
+		TTLMS: q.cfg.TTL.Milliseconds(),
 		Cells: make([]Experiment, 0, len(sl.pending)),
 	}
 	for _, fp := range sl.pending {
 		j.cells[fp].state = cellLeased
 		grant.Cells = append(grant.Cells, j.cells[fp].exp)
 	}
+	q.logLocked(journalRecord{
+		Kind:     "lease",
+		Job:      j.id,
+		Lease:    sl.lease.id,
+		Seq:      q.seq,
+		Worker:   worker,
+		Deadline: sl.lease.deadline.UnixNano(),
+		FPs:      append([]string(nil), sl.pending...),
+		From:     from,
+	})
 	return grant
 }
 
@@ -406,7 +586,7 @@ func (q *JobQueue) Report(jobID, leaseID, worker, fp string, failed bool, errMsg
 	}
 	ack := ReportAck{Verified: true}
 	if lease != nil {
-		lease.deadline = now.Add(q.ttl)
+		lease.deadline = now.Add(q.cfg.TTL)
 		ack.Drop = lease.stolen
 		lease.stolen = nil
 	}
@@ -433,6 +613,17 @@ func (q *JobQueue) Report(jobID, leaseID, worker, fp string, failed bool, errMsg
 		j.computed++
 		w.done++
 	}
+	// Only state changes reach the journal: idempotent acks and
+	// unverified claims left nothing to recover.
+	q.logLocked(journalRecord{
+		Kind:   "report",
+		Job:    jobID,
+		Lease:  leaseID,
+		Worker: worker,
+		FP:     fp,
+		Failed: failed,
+		Err:    errMsg,
+	})
 	q.settleLocked(j, fp)
 	ack.JobState = q.stateLocked(j)
 	return ack, nil
@@ -477,6 +668,12 @@ func (q *JobQueue) expireLocked() {
 			for _, fp := range sl.pending {
 				j.cells[fp].state = cellQueued
 			}
+			q.logLocked(journalRecord{
+				Kind:  "expire",
+				Job:   j.id,
+				Lease: sl.lease.id,
+				FPs:   append([]string(nil), sl.pending...),
+			})
 			sl.lease = nil
 		}
 	}
@@ -529,7 +726,7 @@ func (q *JobQueue) statusLocked(j *queueJob) JobStatus {
 		st.Workers = append(st.Workers, WorkerStatus{
 			ID:         name,
 			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
-			Live:       now.Sub(w.lastSeen) <= q.ttl,
+			Live:       now.Sub(w.lastSeen) <= q.cfg.TTL,
 			Leased:     w.leased,
 			Done:       w.done,
 		})

@@ -30,7 +30,7 @@ func newTestQueue(t *testing.T, ttl time.Duration, slices int) (*JobQueue, *Disk
 		t.Fatal(err)
 	}
 	clock := time.Unix(1_000_000, 0)
-	q := NewJobQueue(store, ttl, slices)
+	q := NewJobQueue(store, QueueConfig{TTL: ttl, Slices: slices})
 	q.now = func() time.Time { return clock }
 	return q, store, &clock
 }
@@ -295,7 +295,7 @@ func TestQueueFleetEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewJobQueue(store, 30*time.Second, 3)
+	q := NewJobQueue(store, QueueConfig{TTL: 30 * time.Second, Slices: 3})
 	srv := httptest.NewServer(NewQueueHandler(q, NewCacheServer(store)))
 	defer srv.Close()
 
@@ -387,7 +387,7 @@ func TestQueueHandlerRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewJobQueue(store, time.Minute, 2)
+	q := NewJobQueue(store, QueueConfig{TTL: time.Minute, Slices: 2})
 	srv := httptest.NewServer(NewQueueHandler(q, NewCacheServer(store)))
 	defer srv.Close()
 	client, err := NewQueueClient(srv.URL)

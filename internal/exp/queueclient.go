@@ -7,9 +7,16 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// pollHeader carries the server's idle-poll hint (milliseconds) on
+// lease responses, so a fleet tunes its polling cadence from one
+// sweepd flag instead of per-worker configuration.
+const pollHeader = "X-Sweepd-Poll-MS"
 
 // QueueClient speaks the sweepd control-plane protocol: submitting
 // jobs, polling their progress, and — for workers — pulling leases and
@@ -19,6 +26,17 @@ import (
 type QueueClient struct {
 	base   string
 	client *http.Client
+
+	// Retry, when its Window is positive, retries transient failures
+	// (connection refused, timeouts, 5xx) of every call with capped
+	// exponential backoff — how a fleet rides through a sweepd restart.
+	// The zero value fails on the first error, PR 8 behavior.
+	Retry Backoff
+	// Log, when non-nil, receives one line per outage transition
+	// (unreachable / reachable again) from WaitJob.
+	Log io.Writer
+
+	pollHintMS atomic.Int64 // server-advertised idle poll, from pollHeader
 }
 
 // NewQueueClient connects to a cmd/sweepd server at baseURL
@@ -34,25 +52,61 @@ func NewQueueClient(baseURL string) (*QueueClient, error) {
 	}, nil
 }
 
-// post sends one JSON request and decodes the JSON response into out.
-// A 204 returns ok == false with no error (the "nothing for you" lease
-// answer); any non-2xx status is an error carrying the server's text.
+func (c *QueueClient) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// PollHint returns the server-advertised idle-poll interval, zero until
+// a lease response has carried one.
+func (c *QueueClient) PollHint() time.Duration {
+	return time.Duration(c.pollHintMS.Load()) * time.Millisecond
+}
+
+// post sends one JSON request and decodes the JSON response into out,
+// retrying transient failures per c.Retry. A 204 returns ok == false
+// with no error (the "nothing for you" lease answer); any non-2xx
+// status is an error carrying the server's text — IsTransient on 5xx
+// (the server may be restarting), permanent on 4xx (the request itself
+// was rejected; retrying cannot help).
 func (c *QueueClient) post(path string, in, out any) (bool, error) {
 	blob, err := json.Marshal(in)
 	if err != nil {
 		return false, fmt.Errorf("exp: marshal %s request: %w", path, err)
 	}
+	var ok bool
+	err = c.Retry.Do(func() error {
+		var attemptErr error
+		ok, attemptErr = c.postOnce(path, blob, out)
+		return attemptErr
+	})
+	return ok, err
+}
+
+func (c *QueueClient) postOnce(path string, blob []byte, out any) (bool, error) {
+	// The body reader is built per attempt: a retry must replay the
+	// request from the start, not from wherever the last one died.
 	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(blob))
 	if err != nil {
-		return false, err
+		return false, Transient(err)
 	}
 	defer resp.Body.Close()
+	if h := resp.Header.Get(pollHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			c.pollHintMS.Store(ms)
+		}
+	}
 	if resp.StatusCode == http.StatusNoContent {
 		return false, nil
 	}
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return false, fmt.Errorf("exp: sweepd POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		err := fmt.Errorf("exp: sweepd POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode/100 == 5 {
+			return false, Transient(err)
+		}
+		return false, err
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -63,14 +117,22 @@ func (c *QueueClient) post(path string, in, out any) (bool, error) {
 }
 
 func (c *QueueClient) get(path string, out any) error {
+	return c.Retry.Do(func() error { return c.getOnce(path, out) })
+}
+
+func (c *QueueClient) getOnce(path string, out any) error {
 	resp, err := c.client.Get(c.base + path)
 	if err != nil {
-		return err
+		return Transient(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("exp: sweepd GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		err := fmt.Errorf("exp: sweepd GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode/100 == 5 {
+			return Transient(err)
+		}
+		return err
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("exp: sweepd GET %s: bad response: %w", path, err)
@@ -129,15 +191,38 @@ func (c *QueueClient) Report(job, lease, worker, fp string, failed bool, errMsg 
 }
 
 // WaitJob polls a job until it leaves the running state, invoking
-// progress (when non-nil) on every snapshot.
+// progress (when non-nil) on every snapshot. The two failure modes get
+// different treatment: a rejected request (unknown job, bad response)
+// fails fast with the server's text, while an unreachable sweepd — when
+// c.Retry opts in — is an outage to ride out: logged once, polled
+// through, and only fatal after four consecutive retry windows without
+// an answer (a restarting sweepd with a journal comes back holding the
+// job, so patience is the correct default).
 func (c *QueueClient) WaitJob(id string, poll time.Duration, progress func(JobStatus)) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
+	var down time.Time // start of the current outage; zero when healthy
 	for {
 		st, err := c.Job(id)
 		if err != nil {
-			return JobStatus{}, err
+			if !IsTransient(err) || c.Retry.Window <= 0 {
+				return JobStatus{}, err
+			}
+			now := time.Now()
+			if down.IsZero() {
+				down = now
+				c.logf("sweepd unreachable, waiting for it to return: %v", err)
+			}
+			if outage := now.Sub(down); outage > 4*c.Retry.Window {
+				return JobStatus{}, fmt.Errorf("exp: sweepd unreachable for %v: %w", outage.Round(time.Second), err)
+			}
+			time.Sleep(poll)
+			continue
+		}
+		if !down.IsZero() {
+			c.logf("sweepd reachable again after %v", time.Since(down).Round(time.Second))
+			down = time.Time{}
 		}
 		if progress != nil {
 			progress(st)
@@ -159,13 +244,20 @@ type WorkerConfig struct {
 	// worker reports the cell done — that publish is what Report's
 	// server-side verification checks.
 	Runner *Runner
-	// Poll is the idle wait between empty lease responses (default
-	// 250ms).
+	// Poll is the idle wait between empty lease responses. Zero or
+	// negative defers to the server's advertised hint (the sweepd
+	// -poll flag), falling back to DefaultWorkerPoll before the first
+	// response arrives.
 	Poll time.Duration
 	// IdleExit, when positive, ends the loop after this many
 	// consecutive empty polls (a server that stays unreachable counts
 	// too); zero polls forever.
 	IdleExit int
+	// Stop, when non-nil, requests a graceful exit: the loop checks it
+	// before each lease and between cells, so the cell in flight when
+	// the channel closes still completes and reports before the loop
+	// returns.
+	Stop <-chan struct{}
 	// Log, when non-nil, receives one line per lease and per defect.
 	Log io.Writer
 }
@@ -184,14 +276,24 @@ type WorkerReport struct {
 	Dropped int
 	// Rejected counts done reports the server refused to verify.
 	Rejected int
-	// Errors counts transport defects (failed lease or report calls).
+	// Errors counts permanent transport defects (rejected lease or
+	// report calls). Transient unreachability is not an error — it is
+	// counted in Outages and ridden out; the queue re-leases anything
+	// a lost report left pending.
 	Errors int
+	// Outages counts transitions into "sweepd unreachable" the loop
+	// survived.
+	Outages int
 }
 
 // String is the worker's one-line exit summary.
 func (r WorkerReport) String() string {
-	return fmt.Sprintf("worker: %d leases, %d cells (%d failed, %d dropped), %d rejected reports, %d transport errors",
+	line := fmt.Sprintf("worker: %d leases, %d cells (%d failed, %d dropped), %d rejected reports, %d transport errors",
 		r.Leases, r.Cells, r.Failed, r.Dropped, r.Rejected, r.Errors)
+	if r.Outages > 0 {
+		line += fmt.Sprintf(", %d outages survived", r.Outages)
+	}
+	return line
 }
 
 // Work runs the pull-based worker loop: lease a slice, run its cells
@@ -200,37 +302,82 @@ func (r WorkerReport) String() string {
 // reassigns to another worker (work stealing) arrive as drop lists on
 // report acks and are skipped. The loop is crash-safe by construction:
 // no state lives in the worker, so killing it anywhere loses nothing —
-// its lease expires and the cells are re-leased.
+// its lease expires and the cells are re-leased. With cfg.Stop wired
+// and c.Retry opted in, the loop is also restart-safe: a sweepd outage
+// is logged once and polled through rather than failing the worker.
 func (c *QueueClient) Work(cfg WorkerConfig) WorkerReport {
-	if cfg.Poll <= 0 {
-		cfg.Poll = 250 * time.Millisecond
-	}
 	logf := func(format string, args ...any) {
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "worker %s: "+format+"\n", append([]any{cfg.ID}, args...)...)
 		}
 	}
+	stopped := func() bool {
+		if cfg.Stop == nil {
+			return false
+		}
+		select {
+		case <-cfg.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+	poll := func() time.Duration {
+		if cfg.Poll > 0 {
+			return cfg.Poll
+		}
+		if hint := c.PollHint(); hint > 0 {
+			return hint
+		}
+		return DefaultWorkerPoll
+	}
 	var rep WorkerReport
 	idle := 0
+	down := false
 	for {
+		if stopped() {
+			logf("stop requested; exiting")
+			return rep
+		}
 		grant, err := c.Lease(cfg.ID)
-		if err != nil {
+		switch {
+		case err != nil && IsTransient(err):
+			// The control plane is away (restarting, most likely). Not a
+			// worker error: keep polling and let the journaled queue come
+			// back with our lease intact.
+			if !down {
+				down = true
+				rep.Outages++
+				logf("sweepd unreachable, polling until it returns: %v", err)
+			}
+		case err != nil:
 			rep.Errors++
 			logf("lease: %v", err)
+		case down:
+			down = false
+			logf("sweepd reachable again")
 		}
 		if grant == nil {
 			idle++
 			if cfg.IdleExit > 0 && idle >= cfg.IdleExit {
 				return rep
 			}
-			time.Sleep(cfg.Poll)
+			time.Sleep(poll())
 			continue
+		}
+		if down {
+			down = false
+			logf("sweepd reachable again")
 		}
 		idle = 0
 		rep.Leases++
 		logf("lease %s: %d cells of job %s", grant.Lease, len(grant.Cells), grant.Job)
 		dropped := make(map[string]bool)
 		for _, e := range grant.Cells {
+			if stopped() {
+				logf("stop requested; abandoning the rest of lease %s", grant.Lease)
+				return rep
+			}
 			fp := e.Fingerprint()
 			if dropped[fp] {
 				rep.Dropped++
@@ -245,9 +392,25 @@ func (c *QueueClient) Work(cfg WorkerConfig) WorkerReport {
 			}
 			ack, err := c.Report(grant.Job, grant.Lease, cfg.ID, fp, failed, res.Err)
 			if err != nil {
-				rep.Errors++
-				logf("report %s: %v", fp, err)
+				if IsTransient(err) {
+					// The result is already published (Runner.Run stores
+					// before returning); only the report was lost. The
+					// lease expires, the cell re-leases, and the store
+					// serves the entry — nothing is recomputed.
+					if !down {
+						down = true
+						rep.Outages++
+						logf("sweepd unreachable mid-lease, report %s not delivered: %v", fp, err)
+					}
+				} else {
+					rep.Errors++
+					logf("report %s: %v", fp, err)
+				}
 				continue
+			}
+			if down {
+				down = false
+				logf("sweepd reachable again")
 			}
 			if !failed && !ack.Verified {
 				// The server could not verify our publish — most likely

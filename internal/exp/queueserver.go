@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"regexp"
+	"strconv"
 )
 
 // Control-plane routes, compiled into client and server from the same
@@ -62,7 +63,12 @@ func NewQueueHandler(q *JobQueue, cs *CacheServer) http.Handler {
 	mux := http.NewServeMux()
 	cs.register(mux)
 	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
-		cs.writeStatus(w, q.Jobs())
+		cs.writeStatus(w, func(st *ServerStatus) {
+			st.Jobs = q.Jobs()
+			cfg := q.Config()
+			st.Queue = &cfg
+			st.Journal = q.JournalStats()
+		})
 	})
 	mux.HandleFunc("POST "+jobsPath, func(w http.ResponseWriter, r *http.Request) {
 		var req submitRequest
@@ -123,6 +129,9 @@ func NewQueueHandler(q *JobQueue, cs *CacheServer) http.Handler {
 			http.Error(w, "lease request names no worker", http.StatusBadRequest)
 			return
 		}
+		// Every lease response advertises the idle-poll hint, so one
+		// sweepd flag paces the whole fleet.
+		w.Header().Set(pollHeader, strconv.FormatInt(q.PollHint().Milliseconds(), 10))
 		grant, ok := q.Lease(req.Worker)
 		if !ok {
 			// Nothing to hand out right now; the worker polls again.

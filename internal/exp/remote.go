@@ -55,6 +55,13 @@ type RemoteStore struct {
 	local  *DiskCache
 	client *http.Client
 
+	// Retry, when its Window is positive, retries transient failures
+	// (connection refused, timeouts, 5xx) of fetches, pushes, and index
+	// reads with capped exponential backoff, so a briefly-restarting
+	// server looks like latency instead of a miss. The zero value keeps
+	// the historic fail-to-miss-immediately behavior.
+	Retry Backoff
+
 	localHits   int64 // served by the local read-through tier
 	remoteHits  int64 // fetched (and verified) from the server
 	misses      int64 // the server had no entry (clean 404)
@@ -180,13 +187,21 @@ func (s *RemoteStore) Store(fp string, res Result) error {
 	return localErr
 }
 
-// fetch GETs one entry. ok == false with a nil error is a clean 404;
-// any other defect (network, non-2xx, oversized or unverifiable body)
-// is an error.
-func (s *RemoteStore) fetch(fp string) (Result, bool, error) {
+// fetch GETs one entry, retrying transient failures per s.Retry.
+// ok == false with a nil error is a clean 404; any other defect
+// (network, non-2xx, oversized or unverifiable body) is an error.
+func (s *RemoteStore) fetch(fp string) (res Result, ok bool, err error) {
+	err = s.Retry.Do(func() error {
+		res, ok, err = s.fetchOnce(fp)
+		return err
+	})
+	return res, ok, err
+}
+
+func (s *RemoteStore) fetchOnce(fp string) (Result, bool, error) {
 	resp, err := s.client.Get(s.entryURL(fp))
 	if err != nil {
-		return Result{}, false, err
+		return Result{}, false, Transient(err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -194,7 +209,11 @@ func (s *RemoteStore) fetch(fp string) (Result, bool, error) {
 	case http.StatusNotFound:
 		return Result{}, false, nil
 	default:
-		return Result{}, false, fmt.Errorf("exp: remote cache GET %s: %s", fp, resp.Status)
+		err := fmt.Errorf("exp: remote cache GET %s: %s", fp, resp.Status)
+		if resp.StatusCode/100 == 5 {
+			return Result{}, false, Transient(err)
+		}
+		return Result{}, false, err
 	}
 	// A foreign-generation store announces itself in the header: fail
 	// before parsing the body (decodeEntry would catch it anyway, but
@@ -216,12 +235,19 @@ func (s *RemoteStore) fetch(fp string) (Result, bool, error) {
 	return res, true, nil
 }
 
-// push PUTs one entry's schema-version envelope to the server.
+// push PUTs one entry's schema-version envelope to the server,
+// retrying transient failures per s.Retry.
 func (s *RemoteStore) push(fp string, res Result) error {
 	blob, err := json.Marshal(diskEntry{Schema: DiskSchemaVersion, Result: res})
 	if err != nil {
 		return fmt.Errorf("exp: marshal cache entry: %w", err)
 	}
+	return s.Retry.Do(func() error { return s.pushOnce(fp, blob) })
+}
+
+func (s *RemoteStore) pushOnce(fp string, blob []byte) error {
+	// The body reader is built per attempt so a retry replays the full
+	// entry from the start.
 	req, err := http.NewRequest(http.MethodPut, s.entryURL(fp), bytes.NewReader(blob))
 	if err != nil {
 		return err
@@ -229,25 +255,42 @@ func (s *RemoteStore) push(fp string, res Result) error {
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := s.client.Do(req)
 	if err != nil {
-		return err
+		return Transient(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("exp: remote cache PUT %s: %s: %s", fp, resp.Status, bytes.TrimSpace(msg))
+		err := fmt.Errorf("exp: remote cache PUT %s: %s: %s", fp, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode/100 == 5 {
+			return Transient(err)
+		}
+		return err
 	}
 	return nil
 }
 
-// index GETs the server's sorted fingerprint list.
-func (s *RemoteStore) index() ([]string, error) {
+// index GETs the server's sorted fingerprint list, retrying transient
+// failures per s.Retry.
+func (s *RemoteStore) index() (fps []string, err error) {
+	err = s.Retry.Do(func() error {
+		fps, err = s.indexOnce()
+		return err
+	})
+	return fps, err
+}
+
+func (s *RemoteStore) indexOnce() ([]string, error) {
 	resp, err := s.client.Get(s.base + resultsPath)
 	if err != nil {
-		return nil, err
+		return nil, Transient(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("exp: remote cache index: %s", resp.Status)
+		err := fmt.Errorf("exp: remote cache index: %s", resp.Status)
+		if resp.StatusCode/100 == 5 {
+			return nil, Transient(err)
+		}
+		return nil, err
 	}
 	var fps []string
 	if err := json.NewDecoder(resp.Body).Decode(&fps); err != nil {
