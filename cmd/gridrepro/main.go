@@ -78,6 +78,7 @@ func run(args []string, out, errOut io.Writer) error {
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	faultsStr := fs.String("faults", "", `append a reliability-matrix section: the paper's impl × tuning grid re-run under this fault plan (syntax: "seed=N; <time> down|up site=S; <time> loss <p>; <time> jitter <dur>")`)
+	multilevel := fs.Bool("multilevel", false, "append the flat-vs-multilevel collectives extension table across asymmetric layouts")
 	repsFlag := fs.Int("reps", 0, "override pingpong round trips per size (0 = per-mode default)")
 	nasFlag := fs.Float64("nas-scale", 0, "override the NPB workload scale (0 = per-mode default)")
 	rayFlag := fs.Float64("ray-scale", 0, "override the ray2mesh workload scale (0 = per-mode default)")
@@ -191,6 +192,14 @@ func run(args []string, out, errOut io.Writer) error {
 		}
 		sections = append(sections, section{"reliability", func() string {
 			return core.RenderReliabilityMatrix(plan, core.ReliabilityMatrix(r, reps, plan))
+		}})
+	}
+	// Likewise -multilevel: the extension table appends after the golden
+	// prefix without disturbing it.
+	if *multilevel {
+		sections = append(sections, section{"multilevel", func() string {
+			const size = 1 << 20
+			return core.RenderMultilevelTable(core.MultilevelTable(r, size, 3), size)
 		}})
 	}
 

@@ -85,6 +85,26 @@ func TestFaultsAppendReliabilitySection(t *testing.T) {
 	}
 }
 
+// TestMultilevelAppendsExtensionSection: -multilevel tacks the
+// flat-vs-multilevel collectives table onto the end of the regeneration
+// without moving a byte of the paper's own sections.
+func TestMultilevelAppendsExtensionSection(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "quick_tiny.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := regen(t, "-workers", "8", "-multilevel")
+	if !strings.HasPrefix(out, string(golden)) {
+		t.Fatal("-multilevel disturbed the paper sections preceding the extension table")
+	}
+	tail := out[len(golden):]
+	for _, want := range []string{"flat vs multilevel collectives", "multilevel", "speedup", "alltoall", "rennes:4+nancy:2+sophia:1+toulouse:1"} {
+		if !strings.Contains(tail, want) {
+			t.Errorf("multilevel section missing %q:\n%s", want, tail)
+		}
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-bogus"}, &out, &errOut); err == nil {

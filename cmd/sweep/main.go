@@ -108,9 +108,11 @@ func parseTunings(s string) ([]exp.Tuning, error) {
 			tunings = append(tunings, exp.Tuning{TCP: true})
 		case "full":
 			tunings = append(tunings, exp.Tuning{TCP: true, MPI: true})
+		case "multilevel":
+			tunings = append(tunings, exp.MultilevelTuning)
 		case "":
 		default:
-			return nil, fmt.Errorf("unknown tuning %q (want default, tcp, full)", tok)
+			return nil, fmt.Errorf("unknown tuning %q (want default, tcp, full, multilevel)", tok)
 		}
 	}
 	if len(tunings) == 0 {
@@ -201,7 +203,7 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	implsStr := fs.String("impls", "all", `implementations: "all" (TCP + the four MPI), "mpi" (the four), or a comma list`)
-	tuningsStr := fs.String("tunings", "default,tcp,full", "tuning levels to cross (default, tcp, full)")
+	tuningsStr := fs.String("tunings", "default,tcp,full", "tuning levels to cross (default, tcp, full, multilevel)")
 	topoStr := fs.String("topo", "grid", `topologies to cross: grid, cluster, or per-site layouts like "rennes:8+nancy:4"`)
 	placementStr := fs.String("placement", "", "rank placement for every topology: block, round-robin, strided:<k>, master:<site> (default block)")
 	nodes := fs.Int("nodes", 1, "nodes per site (grid) / half the cluster size")

@@ -155,7 +155,7 @@ func TestRunGuidelines(t *testing.T) {
 		return report
 	}
 	got := render("4")
-	if !strings.Contains(got, "6 rules x 2 configurations") {
+	if !strings.Contains(got, "8 rules x 2 configurations") {
 		t.Errorf("guideline report header missing:\n%s", got)
 	}
 	if !strings.Contains(got, "self-consistent") && !strings.Contains(got, "VIOLATION") {

@@ -48,6 +48,14 @@ type Tuning struct {
 	// MPI additionally applies the Table 5 eager/rendezvous thresholds
 	// (the Figure 7 configuration).
 	MPI bool `json:"mpi"`
+	// Multilevel additionally switches every collective to the
+	// topology-aware multilevel algorithms (intra-site phase, inter-site
+	// phase over per-site gateways, intra-site redistribution) — the
+	// tuning level beyond the paper's three, answering the question §4.3
+	// stops short of. Encoded omitempty so the zero value reproduces the
+	// pre-multilevel wire bytes: every legacy fingerprint, golden, and
+	// DiskCache entry stays valid.
+	Multilevel bool `json:"multilevel,omitempty"`
 }
 
 // TuningLevels lists the paper's three configurations in presentation
@@ -55,18 +63,31 @@ type Tuning struct {
 // (Figure 7).
 var TuningLevels = []Tuning{{}, {TCP: true}, {TCP: true, MPI: true}}
 
+// MultilevelTuning is the fully tuned configuration plus topology-aware
+// multilevel collectives — the fourth tuning level this repo adds.
+var MultilevelTuning = Tuning{TCP: true, MPI: true, Multilevel: true}
+
 // String names the level as the figures do: "default", "tcp-tuned",
-// "fully-tuned" (or "mpi-tuned" for the off-matrix MPI-only combination).
+// "fully-tuned" (or "mpi-tuned" for the off-matrix MPI-only combination);
+// the multilevel axis reads "multilevel" on top of full tuning and
+// "<base>+multilevel" for the off-matrix combinations.
 func (t Tuning) String() string {
+	base := "default"
 	switch {
 	case t.TCP && t.MPI:
-		return "fully-tuned"
+		base = "fully-tuned"
 	case t.TCP:
-		return "tcp-tuned"
+		base = "tcp-tuned"
 	case t.MPI:
-		return "mpi-tuned"
+		base = "mpi-tuned"
 	}
-	return "default"
+	if t.Multilevel {
+		if t.TCP && t.MPI {
+			return "multilevel"
+		}
+		return base + "+multilevel"
+	}
+	return base
 }
 
 // Workload kinds.
@@ -443,6 +464,7 @@ func Run(e Experiment) (res Result) {
 	}
 
 	prof, tcp := mpiimpl.Configure(e.Impl, e.Tuning.TCP, e.Tuning.MPI)
+	prof.Multilevel = e.Tuning.Multilevel
 	if e.EagerThreshold > 0 {
 		prof = prof.WithEagerThreshold(e.EagerThreshold)
 	}
@@ -566,6 +588,10 @@ func runRay2Mesh(res *Result) {
 	}
 	if !e.Faults.IsZero() {
 		res.Err = "exp: ray2mesh does not support fault injection (it builds its own stack)"
+		return
+	}
+	if e.Tuning.Multilevel {
+		res.Err = "exp: ray2mesh does not support multilevel collectives (it builds its own stack)"
 		return
 	}
 	cfg := ray2mesh.Default(e.Workload.Master).Scaled(e.Workload.scale())

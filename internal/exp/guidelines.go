@@ -24,11 +24,18 @@ import (
 type Guideline struct {
 	LHS string   // the specialized collective pattern...
 	RHS []string // ...that must not lose to this composition's summed time
+	// ScaleByP multiplies the RHS sum by the number of ranks P, for
+	// rules whose naive composition runs one RHS instance per rank
+	// (e.g. alltoall as P rooted scatters).
+	ScaleByP bool
 }
 
 // String renders the rule the way the papers write it, e.g.
-// "allgather <= gather+bcast".
+// "allgather <= gather+bcast" or "alltoall <= P*(scatter)".
 func (g Guideline) String() string {
+	if g.ScaleByP {
+		return g.LHS + " <= P*(" + strings.Join(g.RHS, "+") + ")"
+	}
 	return g.LHS + " <= " + strings.Join(g.RHS, "+")
 }
 
@@ -45,6 +52,15 @@ func (g Guideline) String() string {
 //   - Reduce(n) <= Allreduce(n): same specialization argument.
 //   - Scatter(n) <= Bcast(n): sending each rank its slice cannot cost
 //     more than sending every rank everything.
+//   - Alltoall(n) <= P*(Scatter(n)): the personalized exchange is at
+//     most P rooted scatters run back to back.
+//   - Allreduce(n) <= Reduce(n)+Scatter(n)+Allgather(n): the
+//     ReduceScatter-style (Rabenseifner) composition — reduce, split the
+//     result, allgather the pieces.
+//
+// The last two rules became checkable once the multilevel tuning level
+// gave the LHS and RHS collectives genuinely distinct algorithms at both
+// levels (flat trees vs gateway staging).
 var DefaultGuidelines = []Guideline{
 	{LHS: "allgather", RHS: []string{"gather", "bcast"}},
 	{LHS: "allreduce", RHS: []string{"reduce", "bcast"}},
@@ -52,6 +68,8 @@ var DefaultGuidelines = []Guideline{
 	{LHS: "gather", RHS: []string{"allgather"}},
 	{LHS: "reduce", RHS: []string{"allreduce"}},
 	{LHS: "scatter", RHS: []string{"bcast"}},
+	{LHS: "alltoall", RHS: []string{"scatter"}, ScaleByP: true},
+	{LHS: "allreduce", RHS: []string{"reduce", "scatter", "allgather"}},
 }
 
 // DefaultGuidelineTolerance is the slack factor violations must exceed:
@@ -118,11 +136,12 @@ func (v GuidelineViolation) String() string {
 		v.Config, v.Rule, v.LHS, v.RHS, float64(v.LHS)/float64(v.RHS))
 }
 
-// CheckGuidelines evaluates the rules for one configuration. elapsed
-// maps a pattern name to its measured time; rules whose patterns are
-// missing (unmeasured or failed cells) are skipped, not flagged. A rule
-// is violated when LHS > tol × sum(RHS).
-func CheckGuidelines(rules []Guideline, tol float64, elapsed func(pattern string) (time.Duration, bool)) []GuidelineViolation {
+// CheckGuidelines evaluates the rules for one configuration of np ranks.
+// elapsed maps a pattern name to its measured time; rules whose patterns
+// are missing (unmeasured or failed cells) are skipped, not flagged, as
+// are ScaleByP rules when np is unknown (<= 0). A rule is violated when
+// LHS > tol × sum(RHS), with the RHS sum scaled by np for ScaleByP rules.
+func CheckGuidelines(rules []Guideline, tol float64, np int, elapsed func(pattern string) (time.Duration, bool)) []GuidelineViolation {
 	var out []GuidelineViolation
 rules:
 	for _, g := range rules {
@@ -138,6 +157,12 @@ rules:
 			}
 			rhs += d
 		}
+		if g.ScaleByP {
+			if np <= 0 {
+				continue
+			}
+			rhs *= time.Duration(np)
+		}
 		if rhs > 0 && float64(lhs) > tol*float64(rhs) {
 			out = append(out, GuidelineViolation{Rule: g, LHS: lhs, RHS: rhs})
 		}
@@ -149,6 +174,7 @@ rules:
 // sweep's results.
 type guidelineConfig struct {
 	label   string
+	np      int                      // rank count, for ScaleByP rules
 	elapsed map[string]time.Duration // pattern -> virtual run time
 	skipped []string                 // patterns whose cells failed or DNFed
 }
@@ -165,7 +191,7 @@ func groupGuidelineResults(results []Result) []*guidelineConfig {
 		label := fmt.Sprintf("%s/%s/%s", res.Exp.Impl, res.Exp.Tuning, res.Exp.Topology)
 		cfg := byLabel[label]
 		if cfg == nil {
-			cfg = &guidelineConfig{label: label, elapsed: make(map[string]time.Duration)}
+			cfg = &guidelineConfig{label: label, np: res.Exp.Topology.NP(), elapsed: make(map[string]time.Duration)}
 			byLabel[label] = cfg
 			order = append(order, cfg)
 		}
@@ -188,7 +214,7 @@ func EvaluateGuidelines(results []Result, rules []Guideline, tol float64) (viola
 		for _, p := range cfg.skipped {
 			skipped = append(skipped, fmt.Sprintf("%s: %s cell unusable, rules referencing it skipped", cfg.label, p))
 		}
-		for _, v := range CheckGuidelines(rules, tol, func(p string) (time.Duration, bool) {
+		for _, v := range CheckGuidelines(rules, tol, cfg.np, func(p string) (time.Duration, bool) {
 			d, ok := cfg.elapsed[p]
 			return d, ok
 		}) {

@@ -24,7 +24,7 @@ func TestCheckGuidelines(t *testing.T) {
 	}
 	// allgather (30ms) beats gather+bcast (10+15ms): violation. gather
 	// (10ms) <= allgather (30ms): fine.
-	got := CheckGuidelines(rules, 1.05, fakeElapsed(map[string]time.Duration{
+	got := CheckGuidelines(rules, 1.05, 4, fakeElapsed(map[string]time.Duration{
 		"allgather": 30 * time.Millisecond,
 		"gather":    10 * time.Millisecond,
 		"bcast":     15 * time.Millisecond,
@@ -37,7 +37,7 @@ func TestCheckGuidelines(t *testing.T) {
 	}
 
 	// Within the tolerance band (26ms <= 1.05 * 25ms): no violation.
-	got = CheckGuidelines(rules, 1.05, fakeElapsed(map[string]time.Duration{
+	got = CheckGuidelines(rules, 1.05, 4, fakeElapsed(map[string]time.Duration{
 		"allgather": 26 * time.Millisecond,
 		"gather":    10 * time.Millisecond,
 		"bcast":     15 * time.Millisecond,
@@ -48,7 +48,7 @@ func TestCheckGuidelines(t *testing.T) {
 
 	// A missing pattern silently drops the rules referencing it instead
 	// of producing a fake verdict.
-	got = CheckGuidelines(rules, 1.05, fakeElapsed(map[string]time.Duration{
+	got = CheckGuidelines(rules, 1.05, 4, fakeElapsed(map[string]time.Duration{
 		"allgather": 30 * time.Millisecond,
 		"gather":    10 * time.Millisecond,
 	}))
@@ -57,9 +57,36 @@ func TestCheckGuidelines(t *testing.T) {
 	}
 }
 
+// TestCheckGuidelinesScaleByP pins the P-scaled RHS arithmetic of rules
+// like alltoall <= P*(scatter).
+func TestCheckGuidelinesScaleByP(t *testing.T) {
+	rules := []Guideline{{LHS: "alltoall", RHS: []string{"scatter"}, ScaleByP: true}}
+	table := fakeElapsed(map[string]time.Duration{
+		"alltoall": 40 * time.Millisecond,
+		"scatter":  10 * time.Millisecond,
+	})
+	// 40ms <= 1.05 * 4*10ms: consistent at P=4.
+	if got := CheckGuidelines(rules, 1.05, 4, table); len(got) != 0 {
+		t.Fatalf("in-bound P-scaled rule flagged: %+v", got)
+	}
+	// At P=2 the bound is 21ms: violated, and the report shows the
+	// scaled RHS.
+	got := CheckGuidelines(rules, 1.05, 2, table)
+	if len(got) != 1 || got[0].RHS != 20*time.Millisecond {
+		t.Fatalf("violations = %+v, want one with RHS 20ms", got)
+	}
+	if s := got[0].Rule.String(); s != "alltoall <= P*(scatter)" {
+		t.Fatalf("rule renders as %q", s)
+	}
+	// Unknown rank count: the ScaleByP rule is skipped, not guessed.
+	if got := CheckGuidelines(rules, 1.05, 0, table); len(got) != 0 {
+		t.Fatalf("ScaleByP rule with unknown P flagged: %+v", got)
+	}
+}
+
 func TestGuidelinePatternsAndSuite(t *testing.T) {
 	pats := GuidelinePatterns(DefaultGuidelines)
-	want := []string{"allgather", "gather", "bcast", "allreduce", "reduce", "scatter"}
+	want := []string{"allgather", "gather", "bcast", "allreduce", "reduce", "scatter", "alltoall"}
 	if len(pats) != len(want) {
 		t.Fatalf("patterns = %v, want %v", pats, want)
 	}
@@ -142,7 +169,7 @@ func TestGuidelineSweepEndToEnd(t *testing.T) {
 	if first != second || n1 != n2 {
 		t.Fatalf("guideline report not deterministic:\n%s\nvs\n%s", first, second)
 	}
-	if !strings.Contains(first, "Guidelines: 6 rules x 1 configurations") {
+	if !strings.Contains(first, "Guidelines: 8 rules x 1 configurations") {
 		t.Fatalf("report header missing:\n%s", first)
 	}
 	if n1 > 0 && !strings.Contains(first, "VIOLATION") {
@@ -150,5 +177,48 @@ func TestGuidelineSweepEndToEnd(t *testing.T) {
 	}
 	if n1 == 0 && !strings.Contains(first, "self-consistent") {
 		t.Fatalf("clean report missing the clean line:\n%s", first)
+	}
+}
+
+// TestNewGuidelinesHoldAtBothLevels runs the rules this PR added (plus
+// the reduce <= allreduce monotony rule they extend) on a 3-site layout
+// at the flat and multilevel tuning levels: the new bounds must be
+// self-consistent under both algorithm families. The full default set is
+// deliberately not asserted clean here — -guidelines is a linter, and
+// some legacy rules legitimately flag tuning headroom on grid layouts.
+func TestNewGuidelinesHoldAtBothLevels(t *testing.T) {
+	rules := []Guideline{
+		{LHS: "alltoall", RHS: []string{"scatter"}, ScaleByP: true},
+		{LHS: "allreduce", RHS: []string{"reduce", "scatter", "allgather"}},
+		{LHS: "reduce", RHS: []string{"allreduce"}},
+	}
+	topo := Asym(Site("rennes", 3), Site("nancy", 2), Site("sophia", 2))
+	suite := GuidelineSuite(
+		[]string{mpiimpl.GridMPI},
+		[]Tuning{{TCP: true, MPI: true}, MultilevelTuning},
+		[]Topology{topo},
+		rules, 64<<10, 2)
+	var buf bytes.Buffer
+	if n := WriteGuidelineReport(&buf, NewRunner(4).RunAll(suite), rules, DefaultGuidelineTolerance); n != 0 {
+		t.Fatalf("new rules violated at flat or multilevel level:\n%s", buf.String())
+	}
+}
+
+// TestBrokenGuidelineReportsNonzero: a deliberately false rule (barrier
+// moves no payload, so no collective can beat it on time alone... in fact
+// allreduce must lose to a lone barrier) must produce a nonzero violation
+// count — the count cmd/sweep turns into a nonzero exit.
+func TestBrokenGuidelineReportsNonzero(t *testing.T) {
+	broken := []Guideline{{LHS: "allreduce", RHS: []string{"barrier"}}}
+	suite := GuidelineSuite(
+		[]string{mpiimpl.MPICH2}, []Tuning{{}}, []Topology{Grid(2)},
+		broken, 256<<10, 2)
+	var buf bytes.Buffer
+	n := WriteGuidelineReport(&buf, NewRunner(4).RunAll(suite), broken, DefaultGuidelineTolerance)
+	if n == 0 {
+		t.Fatalf("deliberately broken rule produced a clean report:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "VIOLATION") {
+		t.Fatalf("violation count %d but no VIOLATION line:\n%s", n, buf.String())
 	}
 }

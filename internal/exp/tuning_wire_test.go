@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"repro/internal/mpiimpl"
+)
+
+// TestTuningWireBackwardCompat pins the Tuning wire encoding with
+// hand-written JSON, not the current encoder, so it cannot rot into a
+// tautology: a Tuning with Multilevel false must marshal to exactly the
+// pre-multilevel bytes (no "multilevel" key at all), keeping every
+// legacy fingerprint, golden and DiskCache entry valid; switching the
+// axis on must surface on the wire and move the fingerprint.
+func TestTuningWireBackwardCompat(t *testing.T) {
+	handFingerprint := func(raw string) string {
+		sum := sha256.Sum256([]byte(raw))
+		return hex.EncodeToString(sum[:8])
+	}
+	// The pre-multilevel marshaling of tinyPingPong(GridMPI, fully
+	// tuned): the tuning object has exactly two keys.
+	legacy := `{"impl":"GridMPI","tuning":{"tcp":true,"mpi":true},` +
+		`"topology":{"sites":["rennes","nancy"],"nodes_per_site":1},` +
+		`"workload":{"kind":"pingpong","sizes":[1024,65536],"reps":3}}`
+	e := tinyPingPong(mpiimpl.GridMPI, Tuning{TCP: true, MPI: true})
+	if got, want := e.Fingerprint(), handFingerprint(legacy); got != want {
+		t.Errorf("Multilevel=false fingerprint = %s, want pre-multilevel %s", got, want)
+	}
+
+	// With the axis on, the key appears — after tcp and mpi — and the
+	// experiment becomes a distinct cache entry.
+	multilevel := strings.Replace(legacy, `"mpi":true}`, `"mpi":true,"multilevel":true}`, 1)
+	ml := tinyPingPong(mpiimpl.GridMPI, MultilevelTuning)
+	if got, want := ml.Fingerprint(), handFingerprint(multilevel); got != want {
+		t.Errorf("Multilevel=true fingerprint = %s, want hand-written %s", got, want)
+	}
+	if e.Fingerprint() == ml.Fingerprint() {
+		t.Error("multilevel tuning fingerprints identically to fully-tuned: the axis is invisible to the cache")
+	}
+}

@@ -46,10 +46,12 @@ func (r *Rank) combineCost(n int64) {
 	r.Compute(time.Duration(float64(n) / r.w.Prof.CopyRate * float64(time.Second)))
 }
 
-// siteGroups returns rank ids grouped by site, in order of first
-// appearance; used by the grid-aware algorithms.
+// siteGroups returns rank ids grouped by site. Group order is the order
+// in which sites first appear walking ranks 0..P-1, and each group lists
+// its ranks in ascending rank order — the multilevel algorithms depend on
+// this (group[0] is the site's gateway, and groups[0][0] == rank 0), so
+// it is pinned by TestSiteGroupsFirstAppearanceOrder.
 func (w *World) siteGroups() [][]int {
-	var order []string
 	idx := make(map[string]int)
 	var groups [][]int
 	for _, rk := range w.ranks {
@@ -57,11 +59,9 @@ func (w *World) siteGroups() [][]int {
 		if _, ok := idx[s]; !ok {
 			idx[s] = len(groups)
 			groups = append(groups, nil)
-			order = append(order, s)
 		}
 		groups[idx[s]] = append(groups[idx[s]], rk.id)
 	}
-	_ = order
 	return groups
 }
 
@@ -72,6 +72,10 @@ func (r *Rank) Bcast(root int, n int) {
 		r.w.stats.recordColl("bcast", int64(n))
 	}
 	groups := r.w.siteGroups()
+	if r.w.Prof.Multilevel && len(groups) >= 2 {
+		r.mlBcast(tag, root, int64(n), groups)
+		return
+	}
 	if r.w.Prof.GridBcast {
 		if len(groups) == 2 && n >= gridCollMin {
 			r.gridBcast(tag, root, int64(n), groups)
@@ -220,6 +224,12 @@ func (r *Rank) Reduce(root int, n int) {
 	if r.id == root {
 		r.w.stats.recordColl("reduce", int64(n))
 	}
+	if r.w.Prof.Multilevel {
+		if groups := r.w.siteGroups(); len(groups) >= 2 {
+			r.mlReduce(tag, root, int64(n), groups)
+			return
+		}
+	}
 	r.binomialReduce(tag, root, int64(n))
 }
 
@@ -249,6 +259,10 @@ func (r *Rank) Allreduce(n int) {
 		r.w.stats.recordColl("allreduce", int64(n))
 	}
 	groups := r.w.siteGroups()
+	if r.w.Prof.Multilevel && len(groups) >= 2 {
+		r.mlAllreduce(tag, int64(n), groups)
+		return
+	}
 	if r.w.Prof.GridAllreduce && len(groups) == 2 && n >= gridCollMin {
 		r.gridAllreduce(tag, int64(n), groups)
 		return
@@ -318,6 +332,12 @@ func (r *Rank) Allgather(n int) {
 	if r.id == 0 {
 		r.w.stats.recordColl("allgather", int64(n))
 	}
+	if r.w.Prof.Multilevel {
+		if groups := r.w.siteGroups(); len(groups) >= 2 {
+			r.mlAllgather(tag, int64(n), groups)
+			return
+		}
+	}
 	P := r.Size()
 	right := (r.id + 1) % P
 	left := (r.id - 1 + P) % P
@@ -334,6 +354,16 @@ func (r *Rank) Allgather(n int) {
 // oversubscription under which GridMPI's pacing shines and the others
 // take contention losses.
 func (r *Rank) Alltoall(n int) {
+	if r.w.Prof.Multilevel {
+		if groups := r.w.siteGroups(); len(groups) >= 2 {
+			tag := r.nextCollTag()
+			if r.id == 0 {
+				r.w.stats.recordColl("alltoall", int64(n)*int64(r.Size()))
+			}
+			r.mlAlltoall(tag, int64(n), groups)
+			return
+		}
+	}
 	sizes := make([]int, r.Size())
 	for i := range sizes {
 		sizes[i] = n
@@ -376,6 +406,14 @@ func (r *Rank) Gather(root int, n int) {
 	tag := r.nextCollTag()
 	if r.id == root {
 		r.w.stats.recordColl("gather", int64(n))
+	}
+	if r.w.Prof.Multilevel {
+		if groups := r.w.siteGroups(); len(groups) >= 2 {
+			r.mlGather(tag, root, int64(n), groups)
+			return
+		}
+	}
+	if r.id == root {
 		reqs := make([]*Request, 0, r.Size()-1)
 		for i := 0; i < r.Size(); i++ {
 			if i != root {
@@ -393,6 +431,14 @@ func (r *Rank) Scatter(root int, n int) {
 	tag := r.nextCollTag()
 	if r.id == root {
 		r.w.stats.recordColl("scatter", int64(n))
+	}
+	if r.w.Prof.Multilevel {
+		if groups := r.w.siteGroups(); len(groups) >= 2 {
+			r.mlScatter(tag, root, int64(n), groups)
+			return
+		}
+	}
+	if r.id == root {
 		reqs := make([]*Request, 0, r.Size()-1)
 		for i := 0; i < r.Size(); i++ {
 			if i != root {
@@ -410,6 +456,12 @@ func (r *Rank) Barrier() {
 	tag := r.nextCollTag()
 	if r.id == 0 {
 		r.w.stats.recordColl("barrier", 0)
+	}
+	if r.w.Prof.Multilevel {
+		if groups := r.w.siteGroups(); len(groups) >= 2 {
+			r.mlBarrier(tag, groups)
+			return
+		}
 	}
 	P := r.Size()
 	for mask := 1; mask < P; mask <<= 1 {

@@ -1,0 +1,325 @@
+package mpi
+
+// Topology-aware multilevel collectives (Karonis et al., MPICH-G2; the
+// "multilevel approach" paper). Every operation is staged to minimize WAN
+// crossings: an intra-site phase runs the existing binomial /
+// recursive-doubling kernels restricted to one siteGroups() group, an
+// inter-site phase runs over one gateway rank per site (the first rank of
+// each group, with the root's site rotated to the front for rooted
+// operations), and an intra-site redistribution phase fans results back
+// out. Unlike gridBcast/gridAllreduce these handle arbitrary N-site
+// layouts; the callers in collectives.go fall through to the flat
+// algorithms when only one site is present, so a single-site multilevel
+// run is event-for-event identical to a flat one.
+//
+// Tag discipline: each phase of one collective call uses a distinct
+// offset inside the 64-tag block reserved by nextCollTag, so messages of
+// different phases can never match each other even while different ranks
+// are in different phases. Offsets 0..19 and 20..39 leave room for the
+// per-round tags of recursive doubling / dissemination over groups of up
+// to 2^20 members.
+
+// mlArrange orders the site groups for a rooted collective: the groups
+// list is rotated so the root's site comes first, and the root is rotated
+// to the front of its own group, making it that site's gateway. Every
+// other group keeps first-appearance order with its first rank as
+// gateway. For root 0 (the unrooted operations) this is the identity.
+func mlArrange(groups [][]int, root int) (arranged [][]int, gateways []int) {
+	rootIdx := 0
+	for i, g := range groups {
+		if contains(g, root) {
+			rootIdx = i
+			break
+		}
+	}
+	arranged = make([][]int, 0, len(groups))
+	arranged = append(arranged, groups[rootIdx:]...)
+	arranged = append(arranged, groups[:rootIdx]...)
+	arranged[0] = rotateToFront(arranged[0], root)
+	gateways = make([]int, len(arranged))
+	for i, g := range arranged {
+		gateways[i] = g[0]
+	}
+	return arranged, gateways
+}
+
+// gatewaysOf returns the gateway (first) rank of each group.
+func gatewaysOf(groups [][]int) []int {
+	gws := make([]int, len(groups))
+	for i, g := range groups {
+		gws[i] = g[0]
+	}
+	return gws
+}
+
+// groupOf returns the group containing rank id.
+func groupOf(groups [][]int, id int) []int {
+	for _, g := range groups {
+		if contains(g, id) {
+			return g
+		}
+	}
+	return nil
+}
+
+// groupBinomialBcast broadcasts n bytes from group[0] down a binomial
+// tree over the group; ranks outside the group (and singleton groups)
+// do nothing.
+func (r *Rank) groupBinomialBcast(tag int, n int64, group []int) {
+	P := len(group)
+	me := indexOf(group, r.id)
+	if me < 0 || P < 2 {
+		return
+	}
+	mask := 1
+	for mask < P {
+		if me&mask != 0 {
+			r.crecv(group[me&^mask], tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if me+mask < P {
+			r.csend(group[me+mask], tag, n)
+		}
+		mask >>= 1
+	}
+}
+
+// groupBinomialReduce combines n bytes from every group member onto
+// group[0] up a binomial tree.
+func (r *Rank) groupBinomialReduce(tag int, n int64, group []int) {
+	P := len(group)
+	me := indexOf(group, r.id)
+	if me < 0 || P < 2 {
+		return
+	}
+	mask := 1
+	for mask < P {
+		if me&mask != 0 {
+			r.csend(group[me&^mask], tag, n)
+			return
+		}
+		if child := me | mask; child < P {
+			r.crecv(group[child], tag)
+			r.combineCost(n)
+		}
+		mask <<= 1
+	}
+}
+
+// groupExchangeAllreduce leaves the combined n bytes on every group
+// member by direct pairwise exchange: everyone posts receives from all
+// peers, sends all peers its vector, and combines locally. One
+// latency round of S-1 concurrent messages — for the handful of
+// gateways a grid has, this beats the 2·log S serial WAN rounds of
+// reduce+bcast (and recursive doubling's log S) on both latency- and
+// NIC-bound messages.
+func (r *Rank) groupExchangeAllreduce(tag int, n int64, group []int) {
+	if len(group) < 2 || indexOf(group, r.id) < 0 {
+		return
+	}
+	reqs := make([]*Request, 0, 2*(len(group)-1))
+	for _, peer := range group {
+		if peer != r.id {
+			reqs = append(reqs, r.cirecv(peer, tag))
+		}
+	}
+	for _, peer := range group {
+		if peer != r.id {
+			reqs = append(reqs, r.cisend(peer, tag, n))
+		}
+	}
+	r.WaitAll(reqs...)
+	r.combineCost(int64(len(group)-1) * n)
+}
+
+// mlBcast: the root broadcasts to the gateways over the WAN (one message
+// per remote site), then each gateway broadcasts inside its site.
+func (r *Rank) mlBcast(tag, root int, n int64, groups [][]int) {
+	arranged, gws := mlArrange(groups, root)
+	r.groupBinomialBcast(tag, n, gws)
+	r.groupBinomialBcast(tag+1, n, groupOf(arranged, r.id))
+}
+
+// mlReduce: each site reduces onto its gateway, then the gateways reduce
+// onto the root over the WAN.
+func (r *Rank) mlReduce(tag, root int, n int64, groups [][]int) {
+	arranged, gws := mlArrange(groups, root)
+	r.groupBinomialReduce(tag, n, groupOf(arranged, r.id))
+	r.groupBinomialReduce(tag+1, n, gws)
+}
+
+// mlAllreduce: intra-site reduce onto the gateway, direct exchange of
+// the site sums between the gateways (the single WAN round), intra-site
+// broadcast of the combined result.
+func (r *Rank) mlAllreduce(tag int, n int64, groups [][]int) {
+	gws := gatewaysOf(groups)
+	g := groupOf(groups, r.id)
+	r.groupBinomialReduce(tag, n, g)
+	r.groupExchangeAllreduce(tag+20, n, gws)
+	r.groupBinomialBcast(tag+40, n, g)
+}
+
+// mlGather: members hand their block to the site gateway, and each
+// remote gateway ships its site's bundle to the root in one WAN message.
+func (r *Rank) mlGather(tag, root int, n int64, groups [][]int) {
+	arranged, gws := mlArrange(groups, root)
+	g := groupOf(arranged, r.id)
+	me := indexOf(g, r.id)
+	if me == 0 {
+		reqs := make([]*Request, 0, len(g)-1)
+		for j := 1; j < len(g); j++ {
+			reqs = append(reqs, r.cirecv(g[j], tag))
+		}
+		r.WaitAll(reqs...)
+	} else {
+		r.csend(g[0], tag, n)
+	}
+	if r.id == root {
+		reqs := make([]*Request, 0, len(arranged)-1)
+		for i := 1; i < len(arranged); i++ {
+			reqs = append(reqs, r.cirecv(gws[i], tag+1))
+		}
+		r.WaitAll(reqs...)
+	} else if me == 0 {
+		r.csend(root, tag+1, int64(len(g))*n)
+	}
+}
+
+// mlScatter: the root ships each remote site its whole bundle via the
+// gateway in one WAN message, then gateways deal members their slices.
+func (r *Rank) mlScatter(tag, root int, n int64, groups [][]int) {
+	arranged, gws := mlArrange(groups, root)
+	g := groupOf(arranged, r.id)
+	me := indexOf(g, r.id)
+	if r.id == root {
+		reqs := make([]*Request, 0, len(arranged)-1)
+		for i := 1; i < len(arranged); i++ {
+			reqs = append(reqs, r.cisend(gws[i], tag, int64(len(arranged[i]))*n))
+		}
+		r.WaitAll(reqs...)
+	} else if me == 0 {
+		r.crecv(root, tag)
+	}
+	if me == 0 {
+		reqs := make([]*Request, 0, len(g)-1)
+		for j := 1; j < len(g); j++ {
+			reqs = append(reqs, r.cisend(g[j], tag+1, n))
+		}
+		r.WaitAll(reqs...)
+	} else {
+		r.crecv(g[0], tag+1)
+	}
+}
+
+// mlAllgather: gather each site's blocks at its gateway, exchange the
+// site bundles pairwise between gateways, then broadcast the assembled
+// P·n result inside each site.
+func (r *Rank) mlAllgather(tag int, n int64, groups [][]int) {
+	g := groupOf(groups, r.id)
+	me := indexOf(g, r.id)
+	var total int64
+	for _, grp := range groups {
+		total += int64(len(grp)) * n
+	}
+	if me == 0 {
+		reqs := make([]*Request, 0, len(g)-1)
+		for j := 1; j < len(g); j++ {
+			reqs = append(reqs, r.cirecv(g[j], tag))
+		}
+		r.WaitAll(reqs...)
+
+		reqs = reqs[:0]
+		for _, grp := range groups {
+			if grp[0] != r.id {
+				reqs = append(reqs, r.cirecv(grp[0], tag+1))
+			}
+		}
+		for _, grp := range groups {
+			if grp[0] != r.id {
+				reqs = append(reqs, r.cisend(grp[0], tag+1, int64(len(g))*n))
+			}
+		}
+		r.WaitAll(reqs...)
+	} else {
+		r.csend(g[0], tag, n)
+	}
+	r.groupBinomialBcast(tag+2, total, g)
+}
+
+// mlAlltoall: members funnel all off-site payload through their gateway
+// (phase 1), gateways exchange one aggregated bundle per site pair
+// (phase 2, the only WAN phase: S·(S-1) messages instead of the flat
+// algorithm's per-rank-pair storm), gateways deal the inbound bytes back
+// out (phase 3), and the intra-site pairwise exchange runs directly
+// (phase 4).
+func (r *Rank) mlAlltoall(tag int, n int64, groups [][]int) {
+	g := groupOf(groups, r.id)
+	me := indexOf(g, r.id)
+	P := r.Size()
+	offsite := int64(P-len(g)) * n
+	if me == 0 {
+		if offsite > 0 {
+			reqs := make([]*Request, 0, len(g)-1)
+			for j := 1; j < len(g); j++ {
+				reqs = append(reqs, r.cirecv(g[j], tag))
+			}
+			r.WaitAll(reqs...)
+		}
+		reqs := make([]*Request, 0, 2*(len(groups)-1))
+		for _, grp := range groups {
+			if grp[0] != r.id {
+				reqs = append(reqs, r.cirecv(grp[0], tag+1))
+			}
+		}
+		for _, grp := range groups {
+			if grp[0] != r.id {
+				reqs = append(reqs, r.cisend(grp[0], tag+1, int64(len(g))*int64(len(grp))*n))
+			}
+		}
+		r.WaitAll(reqs...)
+		if offsite > 0 {
+			reqs = reqs[:0]
+			for j := 1; j < len(g); j++ {
+				reqs = append(reqs, r.cisend(g[j], tag+2, offsite))
+			}
+			r.WaitAll(reqs...)
+		}
+	} else if offsite > 0 {
+		r.csend(g[0], tag, offsite)
+		r.crecv(g[0], tag+2)
+	}
+	if len(g) > 1 {
+		reqs := make([]*Request, 0, 2*(len(g)-1))
+		for s := 1; s < len(g); s++ {
+			reqs = append(reqs, r.cirecv(g[(me-s+len(g))%len(g)], tag+3))
+		}
+		for s := 1; s < len(g); s++ {
+			reqs = append(reqs, r.cisend(g[(me+s)%len(g)], tag+3, n))
+		}
+		r.WaitAll(reqs...)
+	}
+}
+
+// mlBarrier: site members check in at their gateway, the gateways run a
+// dissemination barrier over the WAN, then each gateway releases its
+// site.
+func (r *Rank) mlBarrier(tag int, groups [][]int) {
+	gws := gatewaysOf(groups)
+	g := groupOf(groups, r.id)
+	r.groupBinomialReduce(tag, 1, g)
+	if me := indexOf(gws, r.id); me >= 0 {
+		S := len(gws)
+		t := tag + 1
+		for mask := 1; mask < S; mask <<= 1 {
+			dst := gws[(me+mask)%S]
+			src := gws[(me-mask+S)%S]
+			r.csendrecv(dst, t, 1, src, t)
+			t++
+		}
+	}
+	r.groupBinomialBcast(tag+40, 1, g)
+}

@@ -103,6 +103,9 @@ func (r *Rank) sendProto(p *sim.Proc, dst, tag int, size int64, ctx int, record 
 	}
 	dstRank := r.w.ranks[dst]
 	wan := !netsim.SameSite(r.host, dstRank.host)
+	if ctx == ctxColl {
+		r.w.stats.recordCollMsg(r.id, dst, size, wan)
+	}
 	prof := r.w.Prof
 	p.Sleep(prof.Overhead(wan))
 	flow := r.flowTo(dst)

@@ -55,6 +55,15 @@ type Profile struct {
 	GridBcast     bool
 	GridAllreduce bool
 
+	// Multilevel switches every collective to the topology-aware
+	// multilevel algorithms (Karonis et al., MPICH-G2): an intra-site
+	// phase over each siteGroups() group, an inter-site phase over one
+	// gateway rank per site, then intra-site redistribution. Unlike
+	// GridBcast/GridAllreduce it handles arbitrary N-site layouts and
+	// takes precedence over them; on a single site it falls through to
+	// the flat algorithms unchanged.
+	Multilevel bool
+
 	// SerialRendezvous serializes rendezvous exchanges per peer pair
 	// (MPICH-Madeleine's ch_mad engine behaviour).
 	SerialRendezvous bool

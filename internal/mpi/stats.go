@@ -18,9 +18,22 @@ type Stats struct {
 	// receive was posted.
 	Unexpected int64
 
+	// CollSends/CollBytes count the transport messages the collective
+	// algorithms themselves exchange, and CollWANSends/CollWANBytes the
+	// subset crossing sites. They exist so tests can compare flat vs
+	// multilevel traffic; they are deliberately NOT part of the
+	// serialized Census, so zero-Multilevel artifacts (goldens, caches,
+	// fingerprinted results) stay byte-identical.
+	CollSends    int64
+	CollBytes    int64
+	CollWANSends int64
+	CollWANBytes int64
+
 	sizeCounts map[int64]int64
 	collCalls  map[string]int64
 	collBytes  map[string]int64
+	collSentBy []int64
+	collRecvBy []int64
 }
 
 func newStats() *Stats {
@@ -44,6 +57,40 @@ func (s *Stats) recordP2P(size int64, wan bool) {
 func (s *Stats) recordColl(op string, bytes int64) {
 	s.collCalls[op]++
 	s.collBytes[op] += bytes
+}
+
+// recordCollMsg books one collective-context transport message. The
+// receiver is credited at send time; that is sound because collectives
+// only complete once every posted message is consumed.
+func (s *Stats) recordCollMsg(src, dst int, size int64, wan bool) {
+	s.CollSends++
+	s.CollBytes += size
+	if wan {
+		s.CollWANSends++
+		s.CollWANBytes += size
+	}
+	if n := max(src, dst) + 1; n > len(s.collSentBy) {
+		s.collSentBy = append(s.collSentBy, make([]int64, n-len(s.collSentBy))...)
+		s.collRecvBy = append(s.collRecvBy, make([]int64, n-len(s.collRecvBy))...)
+	}
+	s.collSentBy[src] += size
+	s.collRecvBy[dst] += size
+}
+
+// CollSentBytes returns the collective payload bytes rank sent.
+func (s *Stats) CollSentBytes(rank int) int64 {
+	if rank >= len(s.collSentBy) {
+		return 0
+	}
+	return s.collSentBy[rank]
+}
+
+// CollRecvBytes returns the collective payload bytes rank received.
+func (s *Stats) CollRecvBytes(rank int) int64 {
+	if rank >= len(s.collRecvBy) {
+		return 0
+	}
+	return s.collRecvBy[rank]
 }
 
 // SizeCount is one row of the message-size census.
